@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks: full-stack client operation round trips.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use volap::{Cluster, VolapConfig};
+use volap_data::{DataGen, QueryGen};
+use volap_dims::Schema;
+
+fn bench_cluster_rtt(c: &mut Criterion) {
+    let schema = Schema::tpcds();
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.workers = 2;
+    cfg.servers = 1;
+    cfg.manager_enabled = false; // fixed topology for stable numbers
+    cfg.sync_period = Duration::from_millis(200);
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 6, 1.5);
+    let preload = gen.items(20_000);
+    for it in &preload {
+        client.insert(it).expect("insert");
+    }
+    let mut qg = QueryGen::new(&schema, 7, 0.65);
+    let queries: Vec<_> = (0..32).map(|_| qg.query(&preload)).collect();
+
+    let mut group = c.benchmark_group("cluster");
+    group.throughput(Throughput::Elements(1));
+    let mut items = gen.items(100_000).into_iter().cycle();
+    group.bench_function("client_insert_rtt", |b| {
+        b.iter(|| client.insert(&items.next().unwrap()).expect("insert"))
+    });
+    let mut qi = 0usize;
+    group.bench_function("client_query_rtt", |b| {
+        b.iter(|| {
+            let q = &queries[qi % queries.len()];
+            qi += 1;
+            client.query(q).expect("query").0.count
+        })
+    });
+    group.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_cluster_rtt);
+criterion_main!(benches);

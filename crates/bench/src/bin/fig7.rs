@@ -1,0 +1,75 @@
+//! Figure 7: insert and query throughput/latency during horizontal
+//! scale-up (same experiment as Figure 6, performance view).
+//!
+//! Paper setup: N ≈ p × 50 M with p = 4…20 workers, benchmarks at each
+//! step for inserts and low/medium/high coverage queries. Expected shape:
+//! a near-flat insert curve (≈ 50 k/s on 20 EC2 nodes) and a gently
+//! sloping query curve (≈ 20 k/s), i.e. performance sustained while both
+//! the database and the worker pool grow.
+
+use volap_bench::scaleup::{bands, run, ScaleUpParams};
+use volap_bench::{quick_mode, scaled};
+
+fn main() {
+    let params = ScaleUpParams {
+        initial_workers: 4,
+        workers_per_phase: 2,
+        phases: scaled(9, 3),
+        items_per_worker: scaled(8_000, 2_000),
+        queries_per_band: scaled(30, 8),
+        sessions: 6,
+        max_shard_items: scaled(4_000, 1_500) as u64,
+    };
+    println!("# Figure 7: throughput and latency vs system size (TPC-DS)");
+    if quick_mode() {
+        println!("# (quick mode)");
+    }
+    let result = run(&params);
+    println!(
+        "{:>6} {:>8} {:>10} {:<10} {:>14} {:>12} {:>12}",
+        "phase", "workers", "db_size", "op", "tput_ops_s", "lat_ms", "lat_p95_ms"
+    );
+    for p in &result.phases {
+        println!(
+            "{:>6} {:>8} {:>10} {:<10} {:>14.0} {:>12.4} {:>12.4}",
+            p.phase,
+            p.workers,
+            p.db_size,
+            "insert",
+            p.insert_tput,
+            p.insert_lat.mean * 1e3,
+            p.insert_lat.p95 * 1e3
+        );
+        for (b, band) in bands().iter().enumerate() {
+            if p.query_lat[b].n == 0 {
+                continue;
+            }
+            println!(
+                "{:>6} {:>8} {:>10} {:<10} {:>14.0} {:>12.4} {:>12.4}",
+                p.phase,
+                p.workers,
+                p.db_size,
+                format!("q-{band}"),
+                p.query_tput[b],
+                p.query_lat[b].mean * 1e3,
+                p.query_lat[b].p95 * 1e3
+            );
+        }
+    }
+    // Shape summary: insert curve flatness and query slope.
+    if result.phases.len() >= 2 {
+        let first = &result.phases[0];
+        let last = result.phases.last().unwrap();
+        println!(
+            "# insert throughput: first phase {:.0}/s, last phase {:.0}/s (ratio {:.2}; paper: nearly flat)",
+            first.insert_tput,
+            last.insert_tput,
+            last.insert_tput / first.insert_tput
+        );
+        println!(
+            "# db grew {:.1}x while workers grew {:.1}x",
+            last.db_size as f64 / first.db_size as f64,
+            last.workers as f64 / first.workers as f64
+        );
+    }
+}

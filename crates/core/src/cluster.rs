@@ -1,0 +1,295 @@
+//! The single-process cluster harness and client sessions.
+//!
+//! Assembles the full VOLAP deployment of Figure 2 — `m` servers, `p`
+//! workers, a coordination store and the manager — inside one process,
+//! connected by the [`volap_net`] fabric. Workers and servers run real
+//! service threads and speak the real wire protocol; only the physical
+//! network is simulated.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use volap_coord::CoordService;
+use volap_dims::{Aggregate, Item, QueryBox, Schema};
+use volap_net::{Endpoint, Network};
+
+use crate::config::VolapConfig;
+use crate::image::ImageStore;
+use crate::manager::{spawn_manager, ManagerHandle};
+use crate::proto::{Request, Response};
+use crate::server::{spawn_server, ServerHandle};
+use crate::worker::{create_empty_shard, spawn_worker, WorkerHandle};
+
+/// A running VOLAP deployment.
+pub struct Cluster {
+    net: Network,
+    image: ImageStore,
+    cfg: VolapConfig,
+    workers: Mutex<Vec<WorkerHandle>>,
+    servers: Vec<ServerHandle>,
+    manager: Option<ManagerHandle>,
+    bootstrap_ep: Endpoint,
+    next_client: AtomicUsize,
+    next_worker_id: AtomicUsize,
+}
+
+impl Cluster {
+    /// Start a cluster per `cfg`: workers first, then the initial empty
+    /// shards, then servers (which bootstrap from the image), then the
+    /// manager.
+    pub fn start(cfg: VolapConfig) -> Self {
+        let net = match cfg.net_latency {
+            Some(lat) => Network::with_latency(lat),
+            None => Network::new(),
+        };
+        let coord = CoordService::new();
+        let image = ImageStore::new(coord, cfg.schema.clone());
+        let bootstrap_ep = net.endpoint("bootstrap");
+
+        let mut workers = Vec::new();
+        for i in 0..cfg.workers {
+            workers.push(spawn_worker(&net, &image, &cfg, &format!("worker-{i}")));
+        }
+        // Seed initial empty shards round-robin.
+        for w in &workers {
+            for _ in 0..cfg.initial_shards_per_worker {
+                let id = image.alloc_ids(1).start;
+                create_empty_shard(&bootstrap_ep, &w.name, &cfg.schema, id, cfg.request_timeout)
+                    .expect("bootstrap shard");
+            }
+        }
+        let servers: Vec<ServerHandle> = (0..cfg.servers)
+            .map(|i| spawn_server(&net, &image, &cfg, &format!("server-{i}")))
+            .collect();
+        let manager = cfg
+            .manager_enabled
+            .then(|| spawn_manager(&net, &image, &cfg, "manager"));
+        let next_worker_id = AtomicUsize::new(cfg.workers);
+        Self {
+            net,
+            image,
+            cfg,
+            workers: Mutex::new(workers),
+            servers,
+            manager,
+            bootstrap_ep,
+            next_client: AtomicUsize::new(0),
+            next_worker_id,
+        }
+    }
+
+    /// The cluster's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.cfg.schema
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &VolapConfig {
+        &self.cfg
+    }
+
+    /// The global image (inspection by experiments).
+    pub fn image(&self) -> &ImageStore {
+        &self.image
+    }
+
+    /// The message fabric (advanced embedding and fault-injection tests).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Kill a worker abruptly: unregister its endpoint (in-flight and
+    /// future messages to it fail) and stop its threads. Its shards remain
+    /// in the image, as after a real crash. Returns `false` for unknown
+    /// names.
+    pub fn kill_worker(&self, name: &str) -> bool {
+        let handle = {
+            let mut workers = self.workers.lock();
+            match workers.iter().position(|w| w.name == name) {
+                Some(pos) => workers.remove(pos),
+                None => return false,
+            }
+        };
+        self.net.unregister(name);
+        handle.stop();
+        true
+    }
+
+    /// Elastically add a worker (it starts empty; the manager migrates data
+    /// onto it).
+    pub fn add_worker(&self) -> String {
+        let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
+        let name = format!("worker-{id}");
+        let handle = spawn_worker(&self.net, &self.image, &self.cfg, &name);
+        self.workers.lock().push(handle);
+        name
+    }
+
+    /// Open a client session, attached round-robin to one of the servers
+    /// ("each user session is attached to one of the server nodes").
+    pub fn client(&self) -> ClientSession {
+        let i = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let server = format!("server-{}", i % self.servers.len());
+        let endpoint = self.net.endpoint(format!("client-{i}"));
+        ClientSession {
+            endpoint,
+            server,
+            schema: self.cfg.schema.clone(),
+            timeout: self.cfg.request_timeout,
+        }
+    }
+
+    /// A client session pinned to a specific server (freshness experiments
+    /// need cross-server pairs).
+    pub fn client_on(&self, server_idx: usize) -> ClientSession {
+        let i = self.next_client.fetch_add(1, Ordering::Relaxed);
+        ClientSession {
+            endpoint: self.net.endpoint(format!("client-{i}")),
+            server: format!("server-{}", server_idx % self.servers.len()),
+            schema: self.cfg.schema.clone(),
+            timeout: self.cfg.request_timeout,
+        }
+    }
+
+    /// `(splits, migrations)` performed so far by the manager.
+    pub fn balance_counts(&self) -> (u64, u64) {
+        match &self.manager {
+            Some(m) => (
+                m.stats.splits.load(Ordering::Relaxed),
+                m.stats.migrations.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Per-worker data sizes from the global image: `(worker, items)`,
+    /// including workers that currently hold nothing.
+    pub fn worker_loads(&self) -> Vec<(String, u64)> {
+        let mut loads: Vec<(String, u64)> =
+            self.image.workers().into_iter().map(|w| (w, 0)).collect();
+        for rec in self.image.shards() {
+            if let Some(entry) = loads.iter_mut().find(|(w, _)| *w == rec.worker) {
+                entry.1 += rec.len;
+            }
+        }
+        loads
+    }
+
+    /// Cumulative `(inserts, box_expansions)` across all servers. Snapshot
+    /// twice and difference to get the expansion probability of a *mature*
+    /// database window (feeds the Figure-10 simulation).
+    pub fn expansion_counts(&self) -> (u64, u64) {
+        let (mut ins, mut exp) = (0u64, 0u64);
+        for s in &self.servers {
+            ins += s.metrics.inserts.load(Ordering::Relaxed);
+            exp += s.metrics.expansions.load(Ordering::Relaxed);
+        }
+        (ins, exp)
+    }
+
+    /// Cumulative fraction of inserts that expanded a shard box.
+    pub fn expansion_prob(&self) -> f64 {
+        let (ins, exp) = self.expansion_counts();
+        if ins == 0 {
+            0.0
+        } else {
+            exp as f64 / ins as f64
+        }
+    }
+
+    /// Total shard count in the image.
+    pub fn shard_count(&self) -> usize {
+        self.image.shards().len()
+    }
+
+    /// Wait until every server has at least `n` shards in its local image
+    /// (sync settling helper for tests/benches).
+    pub fn settle(&self, deadline: Duration) {
+        let start = Instant::now();
+        let want = self.shard_count();
+        while start.elapsed() < deadline {
+            // Probe via a tiny query through each server: a full-space query
+            // must route to every live shard's worker without error.
+            let ok = {
+                let c = self.client();
+                c.query(&QueryBox::all(&self.cfg.schema)).is_ok()
+            };
+            if ok && self.shard_count() >= want {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stop everything: manager, servers, workers.
+    pub fn shutdown(self) {
+        if let Some(m) = self.manager {
+            m.stop();
+        }
+        for s in self.servers {
+            s.stop();
+        }
+        for w in self.workers.into_inner() {
+            w.stop();
+        }
+        let _ = self.bootstrap_ep;
+    }
+}
+
+/// A client session bound to one server.
+pub struct ClientSession {
+    endpoint: Endpoint,
+    server: String,
+    schema: Schema,
+    timeout: Duration,
+}
+
+impl ClientSession {
+    /// The server this session is attached to.
+    pub fn server(&self) -> &str {
+        &self.server
+    }
+
+    /// Bulk-ingest a batch: routed in one pass on the server and shipped
+    /// to workers as per-shard bulk loads. Far faster than per-item
+    /// round trips (paper §IV-C).
+    pub fn bulk_insert(&self, items: Vec<Item>) -> Result<(), String> {
+        let bytes = self
+            .endpoint
+            .request(&self.server, Request::ClientBulkInsert { items }.encode(), self.timeout)
+            .map_err(|e| e.to_string())?;
+        match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
+            Response::Ack => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Insert one item; returns when the item is durably placed in a shard.
+    pub fn insert(&self, item: &Item) -> Result<(), String> {
+        let bytes = self
+            .endpoint
+            .request(&self.server, Request::ClientInsert { item: item.clone() }.encode(), self.timeout)
+            .map_err(|e| e.to_string())?;
+        match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
+            Response::Ack => Ok(()),
+            Response::Err(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Run an aggregate query; returns the aggregate and the number of
+    /// shards searched (Figure 9b's metric).
+    pub fn query(&self, q: &QueryBox) -> Result<(Aggregate, u32), String> {
+        let bytes = self
+            .endpoint
+            .request(&self.server, Request::ClientQuery { query: q.clone() }.encode(), self.timeout)
+            .map_err(|e| e.to_string())?;
+        match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
+            Response::Agg { agg, shards_searched } => Ok((agg, shards_searched)),
+            Response::Err(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Probabilistically Bounded Staleness analysis (§IV-F, Figure 10).
+//!
+//! The paper quantifies *query freshness*: the time between an insert
+//! issued on one server and its effect being visible to queries issued on a
+//! *different* server (the "elapsed time"). The key structural fact — which
+//! the simulation here models exactly as §IV-F does — is that data lives on
+//! workers shared by all servers, so an insert is invisible to a remote
+//! session only while
+//!
+//! 1. it is still in flight to its shard (the insert latency), or
+//! 2. it *expanded* a shard's bounding box and the remote server's local
+//!    image has not yet received that expansion through the periodic
+//!    (default 3 s) synchronization.
+//!
+//! Case 2 is rare (the measured expansion probability drops as the database
+//! grows) but bounds the tail: visibility is always achieved within one
+//! sync period plus propagation, the paper's "always under 3 seconds".
+//!
+//! Missed-insert counts follow a thinned Poisson process: inserts arrive at
+//! rate λ, each is relevant to a query with probability equal to its
+//! coverage `c`, and an insert of age `u` is missed with probability
+//! `P[V > u]` where `V` is the visibility delay. The expected number of
+//! missed inserts among those at least `e` old is therefore
+//! `m(e) = λ · c · E[(V − e)⁺]`, and the miss count is Poisson(m(e)).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Monte-Carlo freshness simulator.
+#[derive(Debug, Clone)]
+pub struct FreshnessSim {
+    /// System-wide insert rate λ (inserts / second).
+    pub insert_rate: f64,
+    /// Query coverage: probability an insert falls in the query region.
+    pub coverage: f64,
+    /// Server synchronization period (seconds; paper default 3.0).
+    pub sync_period: f64,
+    /// Watch propagation + remote image-apply latency (seconds).
+    pub apply_latency: f64,
+    /// Probability an insert expands its shard's bounding box.
+    pub expansion_prob: f64,
+    /// Empirical insert-latency samples (seconds), e.g. measured from a
+    /// cluster run. Must be non-empty.
+    pub insert_latency_samples: Vec<f64>,
+}
+
+impl FreshnessSim {
+    /// Expected missed inserts `m(e)` for queries issued `elapsed` seconds
+    /// after the reference insert (Figure 10a's y-axis).
+    ///
+    /// Sampling is stratified over the two visibility branches (plain
+    /// insert latency vs. latency + sync phase for box-expanding inserts),
+    /// so even expansion probabilities of 10⁻⁶ are resolved exactly rather
+    /// than lost to Monte-Carlo noise.
+    pub fn avg_missed(&self, elapsed: f64, trials: usize, seed: u64) -> f64 {
+        assert!(!self.insert_latency_samples.is_empty());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut base_excess = 0.0f64;
+        let mut exp_excess = 0.0f64;
+        for _ in 0..trials {
+            let lat =
+                self.insert_latency_samples[rng.gen_range(0..self.insert_latency_samples.len())];
+            base_excess += (lat - elapsed).max(0.0);
+            // The expansion becomes visible remotely at the issuing server's
+            // next periodic push (uniform phase) plus propagation.
+            let v = lat + rng.gen::<f64>() * self.sync_period + self.apply_latency;
+            exp_excess += (v - elapsed).max(0.0);
+        }
+        let base = base_excess / trials as f64;
+        let exp = exp_excess / trials as f64;
+        let mean_excess = (1.0 - self.expansion_prob) * base + self.expansion_prob * exp;
+        self.insert_rate * self.coverage * mean_excess
+    }
+
+    /// `P[missed = k]` for `k` in `0..=k_max` at the given elapsed time
+    /// (Figure 10b): Poisson with mean [`FreshnessSim::avg_missed`].
+    pub fn missed_pmf(&self, elapsed: f64, k_max: usize, trials: usize, seed: u64) -> Vec<f64> {
+        let m = self.avg_missed(elapsed, trials, seed);
+        let mut pmf = Vec::with_capacity(k_max + 1);
+        let mut term = (-m).exp(); // P[0]
+        pmf.push(term);
+        for k in 1..=k_max {
+            term *= m / k as f64;
+            pmf.push(term);
+        }
+        pmf
+    }
+
+    /// The largest possible visibility delay given `trials` latency samples
+    /// — the empirical "consistency always observed in under X seconds"
+    /// bound. When expansions are possible at all, the worst case is a
+    /// box-expanding insert that just missed a sync push.
+    pub fn max_visibility(&self, trials: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_lat = (0..trials)
+            .map(|_| {
+                self.insert_latency_samples[rng.gen_range(0..self.insert_latency_samples.len())]
+            })
+            .fold(0.0, f64::max);
+        if self.expansion_prob > 0.0 {
+            max_lat + self.sync_period + self.apply_latency
+        } else {
+            max_lat
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> FreshnessSim {
+        FreshnessSim {
+            insert_rate: 50_000.0,
+            coverage: 0.5,
+            sync_period: 3.0,
+            apply_latency: 0.01,
+            expansion_prob: 1e-5,
+            // Bimodal insert latency: mostly ~1.5 ms, occasional 100 ms
+            // stalls — shaped like a loaded-system latency distribution.
+            insert_latency_samples: (0..1000)
+                .map(|i| if i % 50 == 0 { 0.1 } else { 0.0015 })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn avg_missed_decreases_to_zero() {
+        let s = sim();
+        let at = |e: f64| s.avg_missed(e, 200_000, 42);
+        let m0 = at(0.0);
+        let m1 = at(0.25);
+        let m2 = at(1.0);
+        let m3 = at(3.5);
+        assert!(m0 > m1 && m1 > m2, "monotone decreasing: {m0} {m1} {m2}");
+        // At e=0 the in-flight inserts dominate: λ·c·E[latency] ≈ 90.
+        assert!(m0 > 30.0 && m0 < 300.0, "m0 = {m0}");
+        // Past the insert-latency tail only rare expansions remain.
+        assert!(m1 < 0.2 * m0, "m(0.25s) must collapse, got {m1} vs {m0}");
+        // Beyond sync period + latency nothing can be missed.
+        assert!(m3 < 1e-9, "m(3.5s) = {m3}");
+    }
+
+    #[test]
+    fn pmf_sums_near_one_and_matches_mean() {
+        let s = sim();
+        let pmf = s.missed_pmf(1.0, 10, 100_000, 7);
+        let total: f64 = pmf.iter().sum();
+        assert!(total > 0.999, "PMF covers the mass: {total}");
+        let mean_from_pmf: f64 = pmf.iter().enumerate().map(|(k, p)| k as f64 * p).sum();
+        let m = s.avg_missed(1.0, 100_000, 7);
+        assert!((mean_from_pmf - m).abs() < 0.05 + 0.1 * m);
+    }
+
+    #[test]
+    fn consistency_bound_within_sync_period() {
+        let s = sim();
+        let max_v = s.max_visibility(500_000, 9);
+        // V <= max insert latency + sync period + apply latency.
+        assert!(max_v <= 0.1 + 3.0 + 0.01 + 1e-9, "max visibility {max_v}");
+        assert!(max_v > 0.0015, "some samples must exceed the common case");
+    }
+
+    #[test]
+    fn zero_rate_means_zero_missed() {
+        let mut s = sim();
+        s.insert_rate = 0.0;
+        assert_eq!(s.avg_missed(0.0, 1000, 1), 0.0);
+        let pmf = s.missed_pmf(0.0, 3, 1000, 1);
+        assert!((pmf[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_coverage_misses_more() {
+        let mut a = sim();
+        a.coverage = 0.25;
+        let mut b = sim();
+        b.coverage = 1.0;
+        assert!(b.avg_missed(0.0, 50_000, 3) > 3.0 * a.avg_missed(0.0, 50_000, 3));
+    }
+}

@@ -1,0 +1,175 @@
+//! The manager: the background load-balancing planner (§III-E).
+//!
+//! The manager periodically reads shard statistics from the global image
+//! and initiates two kinds of operations:
+//!
+//! * **splits** — any shard above the configured size threshold is split in
+//!   place on its worker (the worker keeps serving through an insertion
+//!   queue), and
+//! * **migrations** — shards move from overloaded to underloaded workers
+//!   until loads are within the slack band, which is how newly added
+//!   (empty) workers are filled during horizontal scale-up (Figure 6).
+//!
+//! The manager is deliberately not on the insert/query path and can run
+//! anywhere in the system.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use volap_net::{Endpoint, Network};
+
+use crate::config::VolapConfig;
+use crate::image::ImageStore;
+use crate::proto::{Request, Response};
+
+/// Cumulative counts of load-balancing operations (the right-hand axis of
+/// Figure 6).
+#[derive(Debug, Default)]
+pub struct BalanceStats {
+    /// Completed shard splits.
+    pub splits: AtomicU64,
+    /// Completed shard migrations.
+    pub migrations: AtomicU64,
+    /// Shard records removed because their worker's session expired.
+    pub orphans_removed: AtomicU64,
+}
+
+/// Handle to a running manager.
+pub struct ManagerHandle {
+    /// Shared operation counters.
+    pub stats: Arc<BalanceStats>,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ManagerHandle {
+    /// Signal shutdown and join.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn the manager loop.
+pub fn spawn_manager(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: &str) -> ManagerHandle {
+    let endpoint = net.endpoint(name.to_string());
+    let stats = Arc::new(BalanceStats::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let image = image.clone();
+        let cfg = cfg.clone();
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&shutdown);
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                while crate::util::sleep_unless_stopped(cfg.manager_period, &stop) {
+                    balance_round(&endpoint, &image, &cfg, &stats);
+                }
+            })
+            .expect("spawn manager")
+    };
+    ManagerHandle { stats, shutdown, thread: Some(thread) }
+}
+
+/// One planning round: split oversized shards, then move shards from the
+/// most to the least loaded workers. Public so tests and benches can drive
+/// balancing synchronously.
+pub fn balance_round(
+    endpoint: &Endpoint,
+    image: &ImageStore,
+    cfg: &VolapConfig,
+    stats: &BalanceStats,
+) {
+    // Expire dead sessions so the live-worker view is current.
+    image.coord().reap_expired();
+    let shards = image.shards();
+    let workers = image.workers();
+    if workers.is_empty() {
+        return;
+    }
+
+    // Phase 0: drop records of shards stranded on dead workers (VOLAP has
+    // no replication; the record removal restores routing for the rest).
+    for rec in &shards {
+        if !workers.iter().any(|w| w == &rec.worker) && image.remove_shard(rec.id).is_ok() {
+            stats.orphans_removed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let shards = image.shards();
+
+    // Phase 1: splits.
+    for rec in &shards {
+        if rec.len > cfg.max_shard_items {
+            let ids = image.alloc_ids(2);
+            let req = Request::SplitShard {
+                shard: rec.id,
+                left_id: ids.start,
+                right_id: ids.start + 1,
+            };
+            if let Ok(bytes) = endpoint.request(&rec.worker, req.encode(), cfg.request_timeout) {
+                if matches!(Response::decode(&cfg.schema, &bytes), Ok(Response::SplitDone { .. })) {
+                    stats.splits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    // Phase 2: migrations. Work from a fresh snapshot (splits changed it).
+    let shards = image.shards();
+    let mut load: HashMap<&str, u64> = workers.iter().map(|w| (w.as_str(), 0)).collect();
+    let mut by_worker: HashMap<&str, Vec<(u64, u64)>> = HashMap::new(); // worker -> (shard, len)
+    for rec in &shards {
+        if let Some(l) = load.get_mut(rec.worker.as_str()) {
+            *l += rec.len;
+            by_worker.entry(rec.worker.as_str()).or_default().push((rec.id, rec.len));
+        }
+    }
+    let total: u64 = load.values().sum();
+    if total == 0 {
+        return;
+    }
+    let mean = total as f64 / workers.len() as f64;
+    let hi = mean * (1.0 + cfg.migrate_slack);
+    let lo = mean * (1.0 - cfg.migrate_slack);
+
+    for _ in 0..cfg.max_moves_per_round {
+        let Some((&src, &src_load)) = load.iter().max_by_key(|(_, &l)| l) else { break };
+        let Some((&dst, &dst_load)) = load.iter().min_by_key(|(_, &l)| l) else { break };
+        if src == dst || (src_load as f64) <= hi || (dst_load as f64) >= lo {
+            break;
+        }
+        // Largest shard that fits in half the gap (avoids ping-ponging).
+        let gap = src_load - dst_load;
+        let candidates = by_worker.get_mut(src).map(std::mem::take).unwrap_or_default();
+        let pick = candidates
+            .iter()
+            .filter(|&&(_, len)| len > 0 && len <= gap / 2 + 1)
+            .max_by_key(|&&(_, len)| len)
+            .copied();
+        let Some((shard, len)) = pick else {
+            by_worker.insert(src, candidates);
+            break;
+        };
+        let req = Request::Migrate { shard, dest: dst.to_string() };
+        let ok = endpoint
+            .request(src, req.encode(), cfg.request_timeout)
+            .ok()
+            .and_then(|bytes| Response::decode(&cfg.schema, &bytes).ok())
+            .is_some_and(|r| matches!(r, Response::Ack));
+        let mut rest: Vec<(u64, u64)> = candidates.into_iter().filter(|&(s, _)| s != shard).collect();
+        if ok {
+            stats.migrations.fetch_add(1, Ordering::Relaxed);
+            *load.get_mut(src).unwrap() -= len;
+            *load.get_mut(dst).unwrap() += len;
+            by_worker.entry(dst).or_default().push((shard, len));
+        } else {
+            rest.push((shard, len));
+        }
+        by_worker.insert(src, rest);
+    }
+}

@@ -1,0 +1,352 @@
+//! The server process: client sessions, routing, and image synchronization.
+//!
+//! Servers own no data. Each keeps a **local image** — a [`ServerIndex`]
+//! over shard bounding boxes plus a shard → worker location map — used to
+//! route every client insert and query (§III-C). Local box expansions are
+//! pushed to the global image at the configurable sync rate, and remote
+//! changes arrive through coordination-store watches, giving the bounded
+//! staleness analyzed in §IV-F.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use volap_coord::EventKind;
+use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
+use volap_net::{Endpoint, Incoming, Network};
+
+use crate::config::VolapConfig;
+use crate::image::{ImageStore, ShardRecord, SHARDS_PREFIX};
+use crate::proto::{Request, Response};
+use crate::server_index::ServerIndex;
+
+/// Counters exposed for experiments (expansion probability feeds the
+/// Figure-10 freshness simulation).
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Client inserts routed.
+    pub inserts: AtomicU64,
+    /// Inserts that expanded a shard box (the only ones that can ever be
+    /// missed by a stale remote image).
+    pub expansions: AtomicU64,
+    /// Client queries routed.
+    pub queries: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fraction of inserts that expanded a shard box.
+    pub fn expansion_prob(&self) -> f64 {
+        let ins = self.inserts.load(Ordering::Relaxed);
+        if ins == 0 {
+            0.0
+        } else {
+            self.expansions.load(Ordering::Relaxed) as f64 / ins as f64
+        }
+    }
+}
+
+struct ServerState {
+    #[allow(dead_code)]
+    name: String,
+    schema: Schema,
+    cfg: VolapConfig,
+    endpoint: Endpoint,
+    image: ImageStore,
+    index: RwLock<ServerIndex>,
+    locations: RwLock<HashMap<u64, String>>,
+    /// Locally observed box expansions awaiting the next sync push.
+    dirty: Mutex<HashMap<u64, Mbr>>,
+    metrics: Arc<ServerMetrics>,
+}
+
+/// Handle to a running server.
+pub struct ServerHandle {
+    /// The server's endpoint name.
+    pub name: String,
+    /// Shared metrics.
+    pub metrics: Arc<ServerMetrics>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and join all threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn a server: `cfg.server_threads` service threads plus a sync thread.
+pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: &str) -> ServerHandle {
+    let endpoint = net.endpoint(name.to_string());
+    image.add_server(name);
+    let metrics = Arc::new(ServerMetrics::default());
+    let state = Arc::new(ServerState {
+        name: name.to_string(),
+        schema: cfg.schema.clone(),
+        cfg: cfg.clone(),
+        endpoint: endpoint.clone(),
+        image: image.clone(),
+        index: RwLock::new(ServerIndex::new(cfg.schema.clone(), cfg.index_dir_cap)),
+        locations: RwLock::new(HashMap::new()),
+        dirty: Mutex::new(HashMap::new()),
+        metrics: Arc::clone(&metrics),
+    });
+    // Watch before the initial load so no update can slip between them.
+    let watch_rx = image.coord().watch_prefix(SHARDS_PREFIX);
+    bootstrap(&state);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for t in 0..cfg.server_threads.max(1) {
+        let st = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-svc{t}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        if let Ok(msg) = st.endpoint.recv(Duration::from_millis(20)) {
+                            handle(&st, msg);
+                        }
+                    }
+                })
+                .expect("spawn server thread"),
+        );
+    }
+    // Synchronization thread: push dirty expansions, apply watch events.
+    {
+        let st = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-sync"))
+                .spawn(move || {
+                    while crate::util::sleep_unless_stopped(st.cfg.sync_period, &stop) {
+                        push_dirty(&st);
+                        while let Ok(ev) = watch_rx.try_recv() {
+                            apply_event(&st, &ev.path, ev.kind);
+                        }
+                    }
+                })
+                .expect("spawn sync thread"),
+        );
+    }
+    ServerHandle { name: name.to_string(), metrics, shutdown, threads }
+}
+
+fn bootstrap(st: &Arc<ServerState>) {
+    let mut index = st.index.write();
+    let mut locations = st.locations.write();
+    for rec in st.image.shards() {
+        if !index.contains(rec.id) {
+            index.add_shard(rec.id, rec.mbr.clone());
+        }
+        locations.insert(rec.id, rec.worker);
+    }
+}
+
+/// Push locally observed expansions to the global image ("servers update
+/// Zookeeper every 3 seconds as necessary").
+fn push_dirty(st: &Arc<ServerState>) {
+    let dirty: Vec<(u64, Mbr)> = st.dirty.lock().drain().collect();
+    for (id, mbr) in dirty {
+        st.image.merge_shard(&ShardRecord { id, worker: String::new(), len: 0, mbr });
+    }
+}
+
+/// Apply one global-image change to the local image.
+fn apply_event(st: &Arc<ServerState>, path: &str, kind: EventKind) {
+    let Some(id) = path
+        .strip_prefix(SHARDS_PREFIX)
+        .and_then(|s| s.parse::<u64>().ok())
+    else {
+        return;
+    };
+    match kind {
+        EventKind::Deleted => {
+            st.index.write().remove_shard(id);
+            st.locations.write().remove(&id);
+        }
+        EventKind::Created | EventKind::Changed => {
+            if let Some(rec) = st.image.shard(id) {
+                let mut index = st.index.write();
+                if index.contains(id) {
+                    index.expand_shard(id, &rec.mbr);
+                } else {
+                    index.add_shard(id, rec.mbr.clone());
+                }
+                if !rec.worker.is_empty() {
+                    st.locations.write().insert(id, rec.worker);
+                }
+            }
+        }
+    }
+}
+
+fn reply(msg: &Incoming, resp: Response) {
+    let _ = msg.reply(resp.encode());
+}
+
+fn handle(st: &Arc<ServerState>, msg: Incoming) {
+    let req = match Request::decode(&msg.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            reply(&msg, Response::Err(format!("bad request: {e}")));
+            return;
+        }
+    };
+    match req {
+        Request::Ping => reply(&msg, Response::Ack),
+        Request::ClientInsert { item } => {
+            let resp = route_insert(st, &item);
+            reply(&msg, resp);
+        }
+        Request::ClientBulkInsert { items } => {
+            let resp = route_bulk_insert(st, items);
+            reply(&msg, resp);
+        }
+        Request::ClientQuery { query } => {
+            let resp = route_query(st, &query);
+            reply(&msg, resp);
+        }
+        other => reply(&msg, Response::Err(format!("unsupported server request: {other:?}"))),
+    }
+}
+
+fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
+    st.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+    let routed = st.index.write().route_insert(item);
+    let Some((shard, expanded)) = routed else {
+        return Response::Err("no shards available".into());
+    };
+    if expanded {
+        st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+        let mut dirty = st.dirty.lock();
+        let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+        entry.extend_item(&st.schema, item);
+    }
+    let dest = match st.locations.read().get(&shard).filter(|d| !d.is_empty()).cloned() {
+        Some(d) => d,
+        // Stale local map: consult the global image directly.
+        None => match st.image.shard(shard).map(|r| r.worker).filter(|w| !w.is_empty()) {
+            Some(w) => {
+                st.locations.write().insert(shard, w.clone());
+                w
+            }
+            None => return Response::Err(format!("no location for shard {shard}")),
+        },
+    };
+    match st.endpoint.request(
+        &dest,
+        Request::Insert { shard, item: item.clone() }.encode(),
+        st.cfg.request_timeout,
+    ) {
+        Ok(bytes) => Response::decode(&st.schema, &bytes)
+            .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
+        Err(e) => Response::Err(format!("insert to {dest} failed: {e}")),
+    }
+}
+
+/// Route a whole batch: one routing pass over the local image, then one
+/// per-(worker, shard) bulk request fan-out.
+fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
+    if items.is_empty() {
+        return Response::Ack;
+    }
+    st.metrics.inserts.fetch_add(items.len() as u64, Ordering::Relaxed);
+    // Phase 1: route everything under one index lock.
+    let mut by_shard: HashMap<u64, Vec<Item>> = HashMap::new();
+    {
+        let mut index = st.index.write();
+        let mut dirty = st.dirty.lock();
+        for item in items {
+            let Some((shard, expanded)) = index.route_insert(&item) else {
+                return Response::Err("no shards available".into());
+            };
+            if expanded {
+                st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+                let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+                entry.extend_item(&st.schema, &item);
+            }
+            by_shard.entry(shard).or_default().push(item);
+        }
+    }
+    // Phase 2: one bulk request per shard, all in flight at once.
+    let locations = st.locations.read().clone();
+    let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
+    for (shard, items) in by_shard {
+        let Some(dest) = locations.get(&shard).filter(|d| !d.is_empty()) else {
+            return Response::Err(format!("no location for shard {shard}"));
+        };
+        requests.push((dest.clone(), Request::BulkInsert { shard, items }.encode()));
+    }
+    for (reply, (dest, _)) in st
+        .endpoint
+        .request_many(&requests, st.cfg.request_timeout)
+        .into_iter()
+        .zip(&requests)
+    {
+        match reply {
+            Ok(bytes) => match Response::decode(&st.schema, &bytes) {
+                Ok(Response::Ack) => {}
+                Ok(Response::Err(e)) => return Response::Err(e),
+                Ok(other) => return Response::Err(format!("unexpected bulk response: {other:?}")),
+                Err(e) => return Response::Err(format!("bad bulk response: {e}")),
+            },
+            Err(e) => return Response::Err(format!("bulk to {dest} failed: {e}")),
+        }
+    }
+    Response::Ack
+}
+
+fn route_query(st: &Arc<ServerState>, query: &QueryBox) -> Response {
+    st.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    let shard_ids = st.index.read().route_query(query);
+    if shard_ids.is_empty() {
+        return Response::Agg { agg: Aggregate::empty(), shards_searched: 0 };
+    }
+    // Group by worker and scatter.
+    let mut by_worker: HashMap<String, Vec<u64>> = HashMap::new();
+    {
+        let locations = st.locations.read();
+        for id in shard_ids {
+            match locations.get(&id) {
+                Some(w) => by_worker.entry(w.clone()).or_default().push(id),
+                None => continue, // stale: shard disappeared between index and map
+            }
+        }
+    }
+    // Asynchronous scatter/gather: all worker requests go out at once and
+    // the replies are demultiplexed by correlation ID — one round trip of
+    // query latency regardless of fan-out (the ZeroMQ pattern of §III-B).
+    let requests: Vec<(String, Vec<u8>)> = by_worker
+        .into_iter()
+        .map(|(dest, ids)| (dest, Request::Query { shards: ids, query: query.clone() }.encode()))
+        .collect();
+    let replies = st.endpoint.request_many(&requests, st.cfg.request_timeout);
+    let mut agg = Aggregate::empty();
+    let mut searched = 0u32;
+    for (reply, (dest, _)) in replies.into_iter().zip(&requests) {
+        let resp = match reply {
+            Ok(bytes) => Response::decode(&st.schema, &bytes)
+                .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
+            Err(e) => Response::Err(format!("query to {dest} failed: {e}")),
+        };
+        match resp {
+            Response::Agg { agg: a, shards_searched } => {
+                agg.merge(&a);
+                searched += shards_searched;
+            }
+            Response::Err(e) => return Response::Err(e),
+            _ => return Response::Err("unexpected worker response".into()),
+        }
+    }
+    Response::Agg { agg, shards_searched: searched }
+}

@@ -1,0 +1,491 @@
+//! The worker process: shard storage and OLAP operation service.
+//!
+//! Workers hold the data. Each shard lives in a [`ShardStore`]; a per-shard
+//! *mapping table* entry tracks in-flight splits and migrations (§III-E):
+//! while a shard is being split or serialized for migration, new inserts go
+//! to an **insertion queue** (itself a shard store) that is queried together
+//! with the main structure, so neither inserts nor queries ever stall.
+//! After a split the entry becomes an alias routing old-ID traffic to the
+//! two halves; after a migration it forwards to the destination worker.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use volap_dims::{Aggregate, Item, QueryBox, Schema};
+use volap_net::{Endpoint, Incoming, Network};
+use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
+
+use crate::config::VolapConfig;
+use crate::image::{ImageStore, ShardRecord};
+use crate::proto::{Request, Response};
+
+enum SlotState {
+    /// Normal service.
+    Active { store: Arc<dyn ShardStore> },
+    /// Split or migration in progress: inserts land in `queue`; queries
+    /// search `store` *and* `queue` (paper §III-E).
+    Busy { store: Arc<dyn ShardStore>, queue: Arc<dyn ShardStore> },
+    /// This shard was split; route by hyperplane to the two halves.
+    SplitInto { left: u64, right: u64, plan: SplitPlan },
+    /// This shard now lives on another worker; forward.
+    MovedTo { dest: String },
+}
+
+struct Slot {
+    state: RwLock<SlotState>,
+}
+
+struct WorkerState {
+    name: String,
+    schema: Schema,
+    cfg: VolapConfig,
+    endpoint: Endpoint,
+    image: ImageStore,
+    slots: RwLock<HashMap<u64, Arc<Slot>>>,
+}
+
+/// Handle to a running worker: name plus the machinery to stop it.
+pub struct WorkerHandle {
+    /// The worker's endpoint name.
+    pub name: String,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// Signal shutdown and join all service threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Spawn a worker with `cfg.worker_threads` service threads plus a
+/// statistics publisher.
+pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: &str) -> WorkerHandle {
+    let endpoint = net.endpoint(name.to_string());
+    // Liveness: membership is an ephemeral node under a heartbeated
+    // session; if this worker dies, the node expires and the manager
+    // removes its shard records.
+    let session_ttl = (cfg.stats_period * 10).max(Duration::from_millis(500));
+    let session = image.coord().open_session(session_ttl);
+    image.add_worker_ephemeral(name, session);
+    let state = Arc::new(WorkerState {
+        name: name.to_string(),
+        schema: cfg.schema.clone(),
+        cfg: cfg.clone(),
+        endpoint: endpoint.clone(),
+        image: image.clone(),
+        slots: RwLock::new(HashMap::new()),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for t in 0..cfg.worker_threads.max(1) {
+        let st = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-svc{t}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        if let Ok(msg) = st.endpoint.recv(Duration::from_millis(20)) {
+                            handle(&st, msg);
+                        }
+                    }
+                })
+                .expect("spawn worker thread"),
+        );
+    }
+    // Statistics publisher: lets the manager plan and keeps image lens fresh.
+    {
+        let st = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-stats"))
+                .spawn(move || {
+                    while crate::util::sleep_unless_stopped(st.cfg.stats_period, &stop) {
+                        st.image.coord().heartbeat(session);
+                        publish_stats(&st);
+                    }
+                })
+                .expect("spawn stats thread"),
+        );
+    }
+    WorkerHandle { name: name.to_string(), shutdown, threads }
+}
+
+fn publish_stats(st: &WorkerState) {
+    let slots: Vec<(u64, Arc<Slot>)> =
+        st.slots.read().iter().map(|(&id, s)| (id, Arc::clone(s))).collect();
+    for (id, slot) in slots {
+        let rec = {
+            let guard = slot.state.read();
+            match &*guard {
+                SlotState::Active { store } | SlotState::Busy { store, .. } => Some(ShardRecord {
+                    id,
+                    worker: st.name.clone(),
+                    len: store.len(),
+                    mbr: store.mbr(),
+                }),
+                _ => None,
+            }
+        };
+        if let Some(rec) = rec {
+            st.image.merge_shard(&rec);
+        }
+    }
+}
+
+fn reply(msg: &Incoming, resp: Response) {
+    let _ = msg.reply(resp.encode());
+}
+
+fn handle(st: &Arc<WorkerState>, msg: Incoming) {
+    let req = match Request::decode(&msg.payload) {
+        Ok(r) => r,
+        Err(e) => {
+            reply(&msg, Response::Err(format!("bad request: {e}")));
+            return;
+        }
+    };
+    match req {
+        Request::Ping => reply(&msg, Response::Ack),
+        Request::Insert { shard, item } => {
+            let resp = local_insert(st, shard, &item, false);
+            reply(&msg, resp);
+        }
+        Request::BulkInsert { shard, items } => {
+            let resp = local_bulk_insert(st, shard, items);
+            reply(&msg, resp);
+        }
+        Request::Query { shards, query } => {
+            let resp = local_query(st, &shards, &query);
+            reply(&msg, resp);
+        }
+        Request::SplitShard { shard, left_id, right_id } => {
+            let resp = do_split(st, shard, left_id, right_id);
+            reply(&msg, resp);
+        }
+        Request::Migrate { shard, dest } => {
+            let resp = do_migrate(st, shard, &dest);
+            reply(&msg, resp);
+        }
+        Request::Adopt { shard, blob } => {
+            let resp = do_adopt(st, shard, &blob);
+            reply(&msg, resp);
+        }
+        Request::GetWorkerStats => {
+            let mut shards = Vec::new();
+            for (&id, slot) in st.slots.read().iter() {
+                let guard = slot.state.read();
+                if let SlotState::Active { store } | SlotState::Busy { store, .. } = &*guard {
+                    shards.push(ShardRecord {
+                        id,
+                        worker: st.name.clone(),
+                        len: store.len(),
+                        mbr: store.mbr(),
+                    });
+                }
+            }
+            reply(&msg, Response::WorkerStats { shards });
+        }
+        other => reply(&msg, Response::Err(format!("unsupported worker request: {other:?}"))),
+    }
+}
+
+/// Insert into a local shard, chasing aliases. `via_bulk_drain` suppresses
+/// forwarding loops during queue drains.
+fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain: bool) -> Response {
+    let mut target = shard;
+    for _ in 0..64 {
+        let slot = match st.slots.read().get(&target) {
+            Some(s) => Arc::clone(s),
+            None => return Response::Err(format!("unknown shard {target} on {}", st.name)),
+        };
+        let guard = slot.state.read();
+        match &*guard {
+            SlotState::Active { store } => {
+                store.insert(item);
+                return Response::Ack;
+            }
+            SlotState::Busy { queue, .. } => {
+                queue.insert(item);
+                return Response::Ack;
+            }
+            SlotState::SplitInto { left, right, plan } => {
+                target = if plan.side(item) { *right } else { *left };
+            }
+            SlotState::MovedTo { dest } => {
+                let dest = dest.clone();
+                drop(guard);
+                return forward(st, &dest, &Request::Insert { shard: target, item: item.clone() });
+            }
+        }
+    }
+    Response::Err("alias chain too deep".into())
+}
+
+fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Response {
+    // Fast path: a single Active shard takes the whole batch.
+    {
+        let slots = st.slots.read();
+        if let Some(slot) = slots.get(&shard) {
+            let guard = slot.state.read();
+            if let SlotState::Active { store } = &*guard {
+                let store = Arc::clone(store);
+                drop(guard);
+                drop(slots);
+                store.bulk_insert(items);
+                return Response::Ack;
+            }
+        } else {
+            return Response::Err(format!("unknown shard {shard} on {}", st.name));
+        }
+    }
+    for item in &items {
+        if let Response::Err(e) = local_insert(st, shard, item, true) {
+            return Response::Err(e);
+        }
+    }
+    Response::Ack
+}
+
+fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Response {
+    let mut agg = Aggregate::empty();
+    let mut searched: u32 = 0;
+    // Forwards accumulated per destination to batch remote shards.
+    let mut remote: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut pending: Vec<u64> = shards.to_vec();
+    let mut hops = 0;
+    while let Some(id) = pending.pop() {
+        hops += 1;
+        if hops > 10_000 {
+            return Response::Err("query alias expansion too deep".into());
+        }
+        let slot = match st.slots.read().get(&id) {
+            Some(s) => Arc::clone(s),
+            None => continue, // stale routing: shard no longer known here
+        };
+        let guard = slot.state.read();
+        match &*guard {
+            SlotState::Active { store } => {
+                agg.merge(&store.query(query));
+                searched += 1;
+            }
+            SlotState::Busy { store, queue } => {
+                // The insertion queue is "queried along with the shard
+                // itself" (§III-E).
+                agg.merge(&store.query(query));
+                agg.merge(&queue.query(query));
+                searched += 1;
+            }
+            SlotState::SplitInto { left, right, .. } => {
+                pending.push(*left);
+                pending.push(*right);
+            }
+            SlotState::MovedTo { dest } => {
+                remote.entry(dest.clone()).or_default().push(id);
+            }
+        }
+    }
+    for (dest, ids) in remote {
+        match forward(st, &dest, &Request::Query { shards: ids, query: query.clone() }) {
+            Response::Agg { agg: a, shards_searched } => {
+                agg.merge(&a);
+                searched += shards_searched;
+            }
+            Response::Err(e) => return Response::Err(e),
+            _ => return Response::Err("unexpected forward response".into()),
+        }
+    }
+    Response::Agg { agg, shards_searched: searched }
+}
+
+fn forward(st: &Arc<WorkerState>, dest: &str, req: &Request) -> Response {
+    match st.endpoint.request(dest, req.encode(), st.cfg.request_timeout) {
+        Ok(bytes) => Response::decode(&st.schema, &bytes)
+            .unwrap_or_else(|e| Response::Err(format!("bad forwarded response: {e}"))),
+        Err(e) => Response::Err(format!("forward to {dest} failed: {e}")),
+    }
+}
+
+/// Split a shard in place (manager-initiated). The shard keeps serving
+/// throughout: inserts go to the queue, queries search main + queue.
+fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> Response {
+    let slot = match st.slots.read().get(&shard) {
+        Some(s) => Arc::clone(s),
+        None => return Response::Err(format!("unknown shard {shard}")),
+    };
+    // Enter Busy state.
+    let store = {
+        let mut guard = slot.state.write();
+        match &*guard {
+            SlotState::Active { store } => {
+                let store = Arc::clone(store);
+                let queue: Arc<dyn ShardStore> =
+                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+                *guard = SlotState::Busy { store: Arc::clone(&store), queue };
+                store
+            }
+            _ => return Response::Err(format!("shard {shard} busy or gone")),
+        }
+    };
+    let Some(plan) = store.split_query() else {
+        // Un-splittable (identical items): revert.
+        let mut guard = slot.state.write();
+        if let SlotState::Busy { store, queue } = &*guard {
+            // Preserve anything that entered the queue meanwhile.
+            let queued = queue.items();
+            let store = Arc::clone(store);
+            for it in &queued {
+                store.insert(it);
+            }
+            *guard = SlotState::Active { store };
+        }
+        return Response::Err(format!("shard {shard} cannot be split"));
+    };
+    let (left, right) = store.split(&plan);
+    let (left, right): (Arc<dyn ShardStore>, Arc<dyn ShardStore>) = (left.into(), right.into());
+    // Swap in the halves and drain the queue by hyperplane side.
+    {
+        let mut guard = slot.state.write();
+        let queued = match &*guard {
+            SlotState::Busy { queue, .. } => queue.items(),
+            _ => Vec::new(),
+        };
+        for it in &queued {
+            if plan.side(it) {
+                right.insert(it);
+            } else {
+                left.insert(it);
+            }
+        }
+        let mut slots = st.slots.write();
+        slots.insert(left_id, Arc::new(Slot { state: RwLock::new(SlotState::Active { store: Arc::clone(&left) }) }));
+        slots.insert(right_id, Arc::new(Slot { state: RwLock::new(SlotState::Active { store: Arc::clone(&right) }) }));
+        *guard = SlotState::SplitInto { left: left_id, right: right_id, plan };
+    }
+    // Update the global image: old record out, halves in.
+    let left_rec = ShardRecord { id: left_id, worker: st.name.clone(), len: left.len(), mbr: left.mbr() };
+    let right_rec = ShardRecord { id: right_id, worker: st.name.clone(), len: right.len(), mbr: right.mbr() };
+    // Publish the halves before retiring the parent so no server image ever
+    // sees a routing gap (events are applied in order).
+    st.image.merge_shard(&left_rec);
+    st.image.merge_shard(&right_rec);
+    let _ = st.image.remove_shard(shard);
+    Response::SplitDone { left: left_rec, right: right_rec }
+}
+
+/// Migrate a shard to `dest` while continuing to serve it.
+fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
+    if dest == st.name {
+        return Response::Ack; // no-op
+    }
+    let slot = match st.slots.read().get(&shard) {
+        Some(s) => Arc::clone(s),
+        None => return Response::Err(format!("unknown shard {shard}")),
+    };
+    let store = {
+        let mut guard = slot.state.write();
+        match &*guard {
+            SlotState::Active { store } => {
+                let store = Arc::clone(store);
+                let queue: Arc<dyn ShardStore> =
+                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+                *guard = SlotState::Busy { store: Arc::clone(&store), queue };
+                store
+            }
+            _ => return Response::Err(format!("shard {shard} busy or gone")),
+        }
+    };
+    // Ship the serialized shard.
+    let blob = store.serialize();
+    match forward(st, dest, &Request::Adopt { shard, blob }) {
+        Response::Ack => {}
+        Response::Err(e) => {
+            // Revert: fold the queue back in.
+            let mut guard = slot.state.write();
+            if let SlotState::Busy { store, queue } = &*guard {
+                let queued = queue.items();
+                let store = Arc::clone(store);
+                for it in &queued {
+                    store.insert(it);
+                }
+                *guard = SlotState::Active { store };
+            }
+            return Response::Err(format!("adopt failed: {e}"));
+        }
+        _ => return Response::Err("unexpected adopt response".into()),
+    }
+    // Cut over: capture the queue, mark moved, ship the tail.
+    let queued = {
+        let mut guard = slot.state.write();
+        let queued = match &*guard {
+            SlotState::Busy { queue, .. } => queue.items(),
+            _ => Vec::new(),
+        };
+        *guard = SlotState::MovedTo { dest: dest.to_string() };
+        queued
+    };
+    if !queued.is_empty() {
+        if let Response::Err(e) = forward(st, dest, &Request::BulkInsert { shard, items: queued }) {
+            return Response::Err(format!("queue drain failed: {e}"));
+        }
+    }
+    // Publish the new location.
+    st.image.merge_shard(&ShardRecord {
+        id: shard,
+        worker: dest.to_string(),
+        len: store.len(),
+        mbr: store.mbr(),
+    });
+    Response::Ack
+}
+
+fn do_adopt(st: &Arc<WorkerState>, shard: u64, blob: &[u8]) -> Response {
+    match deserialize_store(st.cfg.store_kind, &st.schema, &st.cfg.tree, blob) {
+        Ok(store) => {
+            let store: Arc<dyn ShardStore> = store.into();
+            let rec = ShardRecord {
+                id: shard,
+                worker: st.name.clone(),
+                len: store.len(),
+                mbr: store.mbr(),
+            };
+            st.slots
+                .write()
+                .insert(shard, Arc::new(Slot { state: RwLock::new(SlotState::Active { store }) }));
+            st.image.merge_shard(&rec);
+            Response::Ack
+        }
+        Err(e) => Response::Err(format!("adopt decode failed: {e}")),
+    }
+}
+
+/// Create an empty shard on a worker by sending it an empty blob to adopt
+/// (bootstrap helper).
+pub fn create_empty_shard(
+    endpoint: &Endpoint,
+    worker: &str,
+    schema: &Schema,
+    shard: u64,
+    timeout: Duration,
+) -> Result<(), String> {
+    let blob = encode_items(schema, &[]);
+    let bytes = endpoint
+        .request(worker, Request::Adopt { shard, blob }.encode(), timeout)
+        .map_err(|e| e.to_string())?;
+    match Response::decode(schema, &bytes) {
+        Ok(Response::Ack) => Ok(()),
+        Ok(Response::Err(e)) => Err(e),
+        Ok(other) => Err(format!("unexpected response: {other:?}")),
+        Err(e) => Err(e),
+    }
+}

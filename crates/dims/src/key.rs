@@ -1,0 +1,102 @@
+//! The key abstraction shared by the PDC-tree family.
+
+use crate::item::Item;
+use crate::mbr::Mbr;
+use crate::query::QueryBox;
+use crate::schema::Schema;
+
+/// A spatial key describing the set of items below a tree node.
+///
+/// The paper's tree family is generic over two key types — Minimum Bounding
+/// Rectangles ([`Mbr`], the R-tree key) and Minimum Describing Subsets
+/// ([`crate::Mds`], the DC/PDC-tree key). The tree code only needs the
+/// operations below; all volumes are *normalized* (fractions of the schema's
+/// ordinal space) so they remain representable at 64 dimensions, where raw
+/// volumes would overflow `f64` — the regime the paper's Figure 5 explores.
+pub trait Key: Clone + Send + Sync + std::fmt::Debug + 'static {
+    /// The empty key (covers nothing).
+    fn empty(schema: &Schema) -> Self;
+
+    /// The key describing exactly one item.
+    fn from_item(schema: &Schema, item: &Item) -> Self {
+        let mut k = Self::empty(schema);
+        k.extend_item(schema, item);
+        k
+    }
+
+    /// Grow to cover `item`. Returns `true` if the key changed.
+    fn extend_item(&mut self, schema: &Schema, item: &Item) -> bool;
+
+    /// Grow to cover everything `other` covers.
+    fn extend_key(&mut self, schema: &Schema, other: &Self);
+
+    /// Whether the key covers nothing.
+    fn is_empty(&self) -> bool;
+
+    /// Whether the described region intersects the query box.
+    fn overlaps_query(&self, q: &QueryBox) -> bool;
+
+    /// Whether the described region is entirely inside the query box
+    /// (enables use of the node's cached aggregate).
+    fn covered_by_query(&self, q: &QueryBox) -> bool;
+
+    /// Whether `item` lies inside the described region.
+    fn contains_item(&self, item: &Item) -> bool;
+
+    /// Normalized volume of the described region, in `[0, 1]`.
+    fn volume_frac(&self, schema: &Schema) -> f64;
+
+    /// Normalized volume of the intersection with `other`, in `[0, 1]`.
+    fn overlap_frac(&self, schema: &Schema, other: &Self) -> f64;
+
+    /// Increase in normalized volume if `item` were added.
+    fn enlargement_frac(&self, schema: &Schema, item: &Item) -> f64 {
+        let mut grown = self.clone();
+        grown.extend_item(schema, item);
+        (grown.volume_frac(schema) - self.volume_frac(schema)).max(0.0)
+    }
+
+    /// A single bounding rectangle enclosing the region (identity for
+    /// [`Mbr`]; the per-dimension hull for MDS keys). This is what shard
+    /// descriptors carry in the global system image.
+    fn to_mbr(&self, schema: &Schema) -> Mbr;
+}
+
+/// Total overlap length between two sorted lists of disjoint inclusive
+/// ranges (helper shared by [`Mbr`] and [`crate::Mds`]).
+pub(crate) fn range_lists_overlap(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j) = (0, 0);
+    let mut total = 0u64;
+    while i < a.len() && j < b.len() {
+        let (alo, ahi) = a[i];
+        let (blo, bhi) = b[j];
+        let lo = alo.max(blo);
+        let hi = ahi.min(bhi);
+        if lo <= hi {
+            total += hi - lo + 1;
+        }
+        if ahi < bhi {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_overlap_two_pointer() {
+        let a = [(0u64, 4), (10, 14)];
+        let b = [(3u64, 11)];
+        // [3,4] and [10,11] overlap -> 2 + 2 = 4.
+        assert_eq!(range_lists_overlap(&a, &b), 4);
+        assert_eq!(range_lists_overlap(&b, &a), 4);
+        assert_eq!(range_lists_overlap(&a, &[(5, 9)]), 0);
+        assert_eq!(range_lists_overlap(&a, &a), 10);
+        assert_eq!(range_lists_overlap(&[], &b), 0);
+    }
+}

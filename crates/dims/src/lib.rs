@@ -1,0 +1,48 @@
+//! Dimension hierarchies and hierarchical geometry for VOLAP.
+//!
+//! VOLAP (Dehne et al., CLUSTER 2016) treats every data item as a point in a
+//! `d`-dimensional space where each dimension is a **hierarchy** (Figure 1 of
+//! the paper: Store → Country → State → City, Date → Year → Month → Day, …).
+//! Queries name a value at *any* level of each hierarchy and aggregate every
+//! item underneath.
+//!
+//! This crate provides the vocabulary shared by the tree, data and system
+//! layers:
+//!
+//! * [`Schema`] — the dimension hierarchies: level names, fanouts and the bit
+//!   layout that maps a full hierarchical path to a compact *leaf ordinal*
+//!   per dimension. A hierarchy prefix always owns a contiguous, power-of-two
+//!   aligned ordinal range, which is what makes boxes and Hilbert mappings
+//!   work.
+//! * [`DimPath`] — a hierarchical ID: a path from a dimension's root to some
+//!   level.
+//! * [`Item`] — a data item: one leaf ordinal per dimension plus a measure.
+//! * [`Aggregate`] — the cached aggregate stored in every tree node
+//!   (count / sum / min / max).
+//! * [`QueryBox`] — an aggregate query region: one ordinal range per
+//!   dimension, built from hierarchy prefixes.
+//! * [`Mbr`] / [`Mds`] — the two key types of the PDC-tree family: Minimum
+//!   Bounding Rectangle (one box) and Minimum Describing Subset (multiple
+//!   hierarchy-aligned boxes per dimension), both implementing [`Key`].
+//! * [`HilbertMapper`] — the Figure-3 transformation: per-level bit expansion
+//!   of hierarchical IDs followed by a compact Hilbert index.
+
+pub mod agg;
+pub mod expand;
+pub mod item;
+pub mod key;
+pub mod mbr;
+pub mod mds;
+pub mod path;
+pub mod query;
+pub mod schema;
+
+pub use agg::Aggregate;
+pub use expand::HilbertMapper;
+pub use item::Item;
+pub use key::Key;
+pub use mbr::Mbr;
+pub use mds::Mds;
+pub use path::DimPath;
+pub use query::QueryBox;
+pub use schema::{DimensionDef, LevelDef, Schema};

@@ -1,0 +1,541 @@
+//! An in-memory asynchronous message fabric: the ZeroMQ substitute.
+//!
+//! VOLAP's servers, workers and manager communicate over ZeroMQ (§III-B):
+//! asynchronous messages, request/reply with correlation, and incoming
+//! requests load-balanced across the threads of a process. This crate
+//! reproduces those semantics inside one process so the distributed system's
+//! code runs unchanged on a laptop:
+//!
+//! * [`Network`] — a registry of named endpoints (one per simulated
+//!   process), with an optional injected one-way delivery latency to mimic a
+//!   real wire.
+//! * [`Endpoint`] — a process's mailbox. `send` is fire-and-forget;
+//!   [`Endpoint::request`] blocks for a correlated reply with a timeout;
+//!   [`Endpoint::recv`] pulls the next incoming request. The receive queue
+//!   is MPMC: any number of service threads can `recv` from clones of the
+//!   same endpoint, giving ZeroMQ's availability-based thread load
+//!   balancing for free.
+//!
+//! Replies are demultiplexed by correlation ID straight into the waiting
+//! requester, never through the request queue — exactly the two-socket
+//! pattern the paper describes per thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+/// Errors surfaced by the fabric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination endpoint is not registered.
+    UnknownEndpoint(String),
+    /// No reply arrived within the timeout.
+    Timeout,
+    /// The endpoint (or network) was shut down.
+    Closed,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::UnknownEndpoint(n) => write!(f, "unknown endpoint: {n}"),
+            NetError::Timeout => f.write_str("request timed out"),
+            NetError::Closed => f.write_str("endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A routed message.
+#[derive(Debug, Clone)]
+struct Envelope {
+    from: String,
+    correlation: u64,
+    /// `true` when this is a reply to an outstanding request.
+    is_reply: bool,
+    payload: Vec<u8>,
+}
+
+struct EndpointCore {
+    name: String,
+    queue_tx: Sender<Envelope>,
+    queue_rx: Receiver<Envelope>,
+    pending: Mutex<HashMap<u64, Sender<Envelope>>>,
+    next_corr: AtomicU64,
+}
+
+impl EndpointCore {
+    fn deliver(&self, env: Envelope) {
+        if env.is_reply {
+            // Route straight to the requester; drop if it gave up (timeout).
+            if let Some(tx) = self.pending.lock().remove(&env.correlation) {
+                let _ = tx.send(env);
+            }
+        } else {
+            let _ = self.queue_tx.send(env);
+        }
+    }
+}
+
+struct NetworkInner {
+    endpoints: RwLock<HashMap<String, Arc<EndpointCore>>>,
+    latency: Option<Duration>,
+    delay_tx: Mutex<Option<Sender<(Instant, String, Envelope)>>>,
+}
+
+/// The fabric: a registry of endpoints plus the delivery path.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// A fabric with instantaneous delivery.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(NetworkInner {
+                endpoints: RwLock::new(HashMap::new()),
+                latency: None,
+                delay_tx: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A fabric that delays every delivery by `latency` (one way), using a
+    /// background timer thread — a crude but effective model of a real
+    /// datacenter wire for staleness experiments.
+    pub fn with_latency(latency: Duration) -> Self {
+        let net = Self {
+            inner: Arc::new(NetworkInner {
+                endpoints: RwLock::new(HashMap::new()),
+                latency: Some(latency),
+                delay_tx: Mutex::new(None),
+            }),
+        };
+        let (tx, rx) = unbounded::<(Instant, String, Envelope)>();
+        *net.inner.delay_tx.lock() = Some(tx);
+        let weak = Arc::downgrade(&net.inner);
+        std::thread::Builder::new()
+            .name("volap-net-delay".into())
+            .spawn(move || {
+                // FIFO + fixed delay means arrival order is send order, so a
+                // simple queue suffices (no heap needed).
+                while let Ok((due, to, env)) = rx.recv() {
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    let Some(inner) = weak.upgrade() else { break };
+                    let target = inner.endpoints.read().get(&to).cloned();
+                    if let Some(core) = target {
+                        core.deliver(env);
+                    }
+                }
+            })
+            .expect("spawn delay thread");
+        net
+    }
+
+    /// Register a new endpoint. Panics if the name is taken.
+    pub fn endpoint(&self, name: impl Into<String>) -> Endpoint {
+        let name = name.into();
+        let (queue_tx, queue_rx) = unbounded();
+        let core = Arc::new(EndpointCore {
+            name: name.clone(),
+            queue_tx,
+            queue_rx,
+            pending: Mutex::new(HashMap::new()),
+            next_corr: AtomicU64::new(1),
+        });
+        let prev = self.inner.endpoints.write().insert(name.clone(), Arc::clone(&core));
+        assert!(prev.is_none(), "endpoint name {name:?} already registered");
+        Endpoint { net: self.clone(), core }
+    }
+
+    /// Remove an endpoint from the registry (messages to it start failing).
+    pub fn unregister(&self, name: &str) {
+        self.inner.endpoints.write().remove(name);
+    }
+
+    /// Registered endpoint names.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.endpoints.read().keys().cloned().collect()
+    }
+
+    fn route(&self, to: &str, env: Envelope) -> Result<(), NetError> {
+        let target = self
+            .inner
+            .endpoints
+            .read()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownEndpoint(to.to_string()))?;
+        match (self.inner.latency, &*self.inner.delay_tx.lock()) {
+            (Some(lat), Some(tx)) => {
+                tx.send((Instant::now() + lat, to.to_string(), env)).map_err(|_| NetError::Closed)
+            }
+            _ => {
+                target.deliver(env);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An incoming request, with everything needed to reply.
+pub struct Incoming {
+    /// Sender endpoint name.
+    pub from: String,
+    /// Correlation ID (echoed in the reply).
+    pub correlation: u64,
+    /// Message body.
+    pub payload: Vec<u8>,
+    net: Network,
+    to_name: String,
+}
+
+impl Incoming {
+    /// Send a reply back to the requester.
+    pub fn reply(&self, payload: Vec<u8>) -> Result<(), NetError> {
+        self.net.route(
+            &self.from,
+            Envelope {
+                from: self.to_name.clone(),
+                correlation: self.correlation,
+                is_reply: true,
+                payload,
+            },
+        )
+    }
+}
+
+/// A named mailbox on the fabric. Cloneable: clones share the queue, so a
+/// pool of service threads drains one endpoint cooperatively.
+#[derive(Clone)]
+pub struct Endpoint {
+    net: Network,
+    core: Arc<EndpointCore>,
+}
+
+impl Endpoint {
+    /// This endpoint's name.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    /// The fabric this endpoint is attached to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Fire-and-forget send (correlation 0).
+    pub fn send(&self, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        self.net.route(
+            to,
+            Envelope { from: self.core.name.clone(), correlation: 0, is_reply: false, payload },
+        )
+    }
+
+    /// Send a request and block for the correlated reply.
+    pub fn request(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.core.pending.lock().insert(corr, tx);
+        let sent = self.net.route(
+            to,
+            Envelope { from: self.core.name.clone(), correlation: corr, is_reply: false, payload },
+        );
+        if let Err(e) = sent {
+            self.core.pending.lock().remove(&corr);
+            return Err(e);
+        }
+        match rx.recv_timeout(timeout) {
+            Ok(env) => Ok(env.payload),
+            Err(_) => {
+                self.core.pending.lock().remove(&corr);
+                Err(NetError::Timeout)
+            }
+        }
+    }
+
+    /// Issue several requests concurrently and block until every reply has
+    /// arrived (or the shared deadline passes). Returns one result per
+    /// request, in order. This is the scatter/gather primitive servers use
+    /// to query many workers in one round trip without spawning threads.
+    pub fn request_many(
+        &self,
+        requests: &[(String, Vec<u8>)],
+        timeout: Duration,
+    ) -> Vec<Result<Vec<u8>, NetError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let n = requests.len();
+        let (tx, rx) = bounded(n);
+        let mut corr_to_idx = HashMap::with_capacity(n);
+        let mut results: Vec<Result<Vec<u8>, NetError>> =
+            (0..n).map(|_| Err(NetError::Timeout)).collect();
+        let mut outstanding = 0usize;
+        for (i, (to, payload)) in requests.iter().enumerate() {
+            let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
+            self.core.pending.lock().insert(corr, tx.clone());
+            let sent = self.net.route(
+                to,
+                Envelope {
+                    from: self.core.name.clone(),
+                    correlation: corr,
+                    is_reply: false,
+                    payload: payload.clone(),
+                },
+            );
+            match sent {
+                Ok(()) => {
+                    corr_to_idx.insert(corr, i);
+                    outstanding += 1;
+                }
+                Err(e) => {
+                    self.core.pending.lock().remove(&corr);
+                    results[i] = Err(e);
+                }
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        while outstanding > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(env) => {
+                    if let Some(&i) = corr_to_idx.get(&env.correlation) {
+                        results[i] = Ok(env.payload);
+                        outstanding -= 1;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        // Forget any stragglers.
+        if outstanding > 0 {
+            let mut pending = self.core.pending.lock();
+            for &corr in corr_to_idx.keys() {
+                pending.remove(&corr);
+            }
+        }
+        results
+    }
+
+    /// Block for the next incoming request (not replies), up to `timeout`.
+    pub fn recv(&self, timeout: Duration) -> Result<Incoming, NetError> {
+        match self.core.queue_rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Incoming {
+                from: env.from,
+                correlation: env.correlation,
+                payload: env.payload,
+                net: self.net.clone(),
+                to_name: self.core.name.clone(),
+            }),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    /// Non-blocking variant of [`Endpoint::recv`].
+    pub fn try_recv(&self) -> Option<Incoming> {
+        self.core.queue_rx.try_recv().ok().map(|env| Incoming {
+            from: env.from,
+            correlation: env.correlation,
+            payload: env.payload,
+            net: self.net.clone(),
+            to_name: self.core.name.clone(),
+        })
+    }
+
+    /// Number of queued (unconsumed) requests.
+    pub fn backlog(&self) -> usize {
+        self.core.queue_rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_and_recv() {
+        let net = Network::new();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        a.send("b", b"hello".to_vec()).unwrap();
+        let msg = b.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.payload, b"hello");
+        assert_eq!(msg.from, "a");
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let net = Network::new();
+        let a = net.endpoint("a");
+        assert_eq!(
+            a.send("nope", vec![]),
+            Err(NetError::UnknownEndpoint("nope".into()))
+        );
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        let h = thread::spawn(move || {
+            let req = server.recv(Duration::from_secs(2)).unwrap();
+            let mut resp = req.payload.clone();
+            resp.reverse();
+            req.reply(resp).unwrap();
+        });
+        let reply = client
+            .request("server", vec![1, 2, 3], Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(reply, vec![3, 2, 1]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn replies_do_not_enter_request_queue() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        let h = thread::spawn(move || {
+            let req = server.recv(Duration::from_secs(2)).unwrap();
+            req.reply(b"pong".to_vec()).unwrap();
+        });
+        client.request("server", b"ping".to_vec(), Duration::from_secs(2)).unwrap();
+        h.join().unwrap();
+        assert!(client.try_recv().is_none(), "reply must not appear as a request");
+    }
+
+    #[test]
+    fn request_times_out_without_server_thread() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let _server = net.endpoint("server"); // never replies
+        let err = client
+            .request("server", vec![], Duration::from_millis(50))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn mpmc_receive_load_balances() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        for i in 0..100u8 {
+            client.send("server", vec![i]).unwrap();
+        }
+        let counts: Vec<usize> = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let ep = server.clone();
+                    s.spawn(move || {
+                        let mut n = 0;
+                        while ep.recv(Duration::from_millis(100)).is_ok() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(counts.iter().sum::<usize>(), 100, "every message consumed exactly once");
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = Network::with_latency(Duration::from_millis(60));
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        let start = Instant::now();
+        a.send("b", vec![9]).unwrap();
+        assert!(b.try_recv().is_none(), "must not arrive instantly");
+        let msg = b.recv(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.payload, vec![9]);
+        assert!(start.elapsed() >= Duration::from_millis(55));
+    }
+
+    #[test]
+    fn request_many_gathers_in_order() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let server = net.endpoint(format!("s{i}"));
+            handles.push(thread::spawn(move || {
+                let req = server.recv(Duration::from_secs(2)).unwrap();
+                let mut resp = req.payload.clone();
+                resp.push(0xFF);
+                req.reply(resp).unwrap();
+            }));
+        }
+        let reqs: Vec<(String, Vec<u8>)> =
+            (0..4).map(|i| (format!("s{i}"), vec![i as u8])).collect();
+        let replies = client.request_many(&reqs, Duration::from_secs(2));
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap(), &vec![i as u8, 0xFF], "reply order preserved");
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn request_many_reports_partial_failures() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let server = net.endpoint("alive");
+        let _silent = net.endpoint("silent");
+        let h = thread::spawn(move || {
+            let req = server.recv(Duration::from_secs(2)).unwrap();
+            req.reply(b"ok".to_vec()).unwrap();
+        });
+        let reqs = vec![
+            ("alive".to_string(), vec![1]),
+            ("missing".to_string(), vec![2]),
+            ("silent".to_string(), vec![3]),
+        ];
+        let replies = client.request_many(&reqs, Duration::from_millis(200));
+        assert_eq!(replies[0].as_ref().unwrap(), b"ok");
+        assert!(matches!(replies[1], Err(NetError::UnknownEndpoint(_))));
+        assert_eq!(replies[2], Err(NetError::Timeout));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn request_many_empty_is_noop() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        assert!(client.request_many(&[], Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn unregister_stops_routing() {
+        let net = Network::new();
+        let a = net.endpoint("a");
+        let _b = net.endpoint("b");
+        net.unregister("b");
+        assert!(matches!(a.send("b", vec![]), Err(NetError::UnknownEndpoint(_))));
+    }
+}

@@ -1,0 +1,868 @@
+//! The concurrent tree underlying every PDC-family variant.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use volap_dims::{Aggregate, HilbertMapper, Item, Key, Mbr, QueryBox, Schema};
+use volap_hilbert::BigIndex;
+
+/// Sizing and fill parameters shared by all tree variants.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum items per leaf node.
+    pub leaf_cap: usize,
+    /// Maximum children per directory node.
+    pub dir_cap: usize,
+    /// Minimum fraction of a node kept on each side of a split.
+    pub min_fill: f64,
+    /// Whether queries may answer covered subtrees from cached node
+    /// aggregates. `true` for the whole DC/PDC-tree lineage; `false` models
+    /// the paper's *conventional* R-tree baselines (Figure 5), which must
+    /// visit every item a query covers.
+    pub aggregate_cache: bool,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { leaf_cap: 64, dir_cap: 16, min_fill: 0.35, aggregate_cache: true }
+    }
+}
+
+impl TreeConfig {
+    pub(crate) fn min_leaf(&self) -> usize {
+        ((self.leaf_cap as f64 * self.min_fill) as usize).max(1)
+    }
+    pub(crate) fn min_dir(&self) -> usize {
+        ((self.dir_cap as f64 * self.min_fill) as usize).max(1)
+    }
+}
+
+/// How inserts pick their path and how nodes split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertPolicy {
+    /// R-tree/PDC-tree style: descend into the child whose key grows with
+    /// the least overlap against its siblings; split along the widest
+    /// dimension. Insert cost grows with dimensionality.
+    Geometric,
+    /// Hilbert PDC / Hilbert R-tree style: children are ordered by their
+    /// maximum Hilbert value (LHV); descend like a B+-tree on the item's
+    /// compact Hilbert key and split at the least-overlap index (paper
+    /// §III-D). `expand` applies the Figure-3 level expansion before the
+    /// Hilbert mapping (true for Hilbert PDC, false for Hilbert R-tree).
+    Hilbert {
+        /// Apply the Figure-3 hierarchical level expansion.
+        expand: bool,
+    },
+}
+
+/// One item as stored in a leaf.
+#[derive(Debug, Clone)]
+pub(crate) struct Entry {
+    pub coords: Box<[u64]>,
+    pub measure: f64,
+    /// Compact Hilbert key; `None` under the geometric policy.
+    pub hkey: Option<BigIndex>,
+}
+
+impl Entry {
+    fn to_item(&self) -> Item {
+        Item { coords: self.coords.clone(), measure: self.measure }
+    }
+}
+
+/// A directory slot: the child's key and maximum Hilbert value (LHV) live
+/// in the parent (R-tree style), so routing never locks children.
+pub(crate) struct DirEntry<K> {
+    pub key: K,
+    pub lhv: Option<BigIndex>,
+    pub node: Arc<Node<K>>,
+}
+
+impl<K: Key> Clone for DirEntry<K> {
+    fn clone(&self) -> Self {
+        Self { key: self.key.clone(), lhv: self.lhv.clone(), node: Arc::clone(&self.node) }
+    }
+}
+
+pub(crate) enum NodeChildren<K> {
+    Dir(Vec<DirEntry<K>>),
+    Leaf(Vec<Entry>),
+}
+
+pub(crate) struct NodeInner<K> {
+    /// Cached aggregate of the whole subtree (the PDC tree's core trick).
+    pub agg: Aggregate,
+    pub children: NodeChildren<K>,
+}
+
+/// A tree node: a lock around its contents. Inserts use write-lock coupling
+/// (at most parent + child held); queries take read locks one at a time.
+pub(crate) type Node<K> = RwLock<NodeInner<K>>;
+
+pub(crate) fn new_leaf<K: Key>(entries: Vec<Entry>, agg: Aggregate) -> Arc<Node<K>> {
+    Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Leaf(entries) }))
+}
+
+pub(crate) fn new_dir<K: Key>(entries: Vec<DirEntry<K>>, agg: Aggregate) -> Arc<Node<K>> {
+    Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Dir(entries) }))
+}
+
+/// Per-query traversal statistics (used by the Figure 4/9 experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// Nodes whose lock was taken.
+    pub nodes_visited: u64,
+    /// Directory entries answered from the cached aggregate.
+    pub covered_hits: u64,
+    /// Leaf items tested individually.
+    pub items_scanned: u64,
+    /// Directory entries pruned (no overlap).
+    pub pruned: u64,
+}
+
+/// A concurrent multi-dimensional aggregate index with cached per-node
+/// aggregates: the PDC-tree family member selected by the key type `K` and
+/// the [`InsertPolicy`].
+pub struct ConcurrentTree<K: Key> {
+    schema: Schema,
+    cfg: TreeConfig,
+    policy: InsertPolicy,
+    mapper: Option<HilbertMapper>,
+    root: RwLock<Arc<Node<K>>>,
+    len: AtomicU64,
+}
+
+impl<K: Key> ConcurrentTree<K> {
+    /// Create an empty tree.
+    pub fn new(schema: Schema, policy: InsertPolicy, cfg: TreeConfig) -> Self {
+        assert!(cfg.leaf_cap >= 4, "leaf capacity too small");
+        assert!(cfg.dir_cap >= 4, "directory capacity too small");
+        let mapper = match policy {
+            InsertPolicy::Geometric => None,
+            InsertPolicy::Hilbert { expand } => Some(HilbertMapper::new(&schema, expand)),
+        };
+        Self {
+            root: RwLock::new(new_leaf(Vec::new(), Aggregate::empty())),
+            schema,
+            cfg,
+            policy,
+            mapper,
+            len: AtomicU64::new(0),
+        }
+    }
+
+    /// The schema this tree indexes.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The insert policy.
+    pub fn policy(&self) -> InsertPolicy {
+        self.policy
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn entry_of(&self, item: &Item) -> Entry {
+        Entry {
+            hkey: self.mapper.as_ref().map(|m| m.key_of_coords(&item.coords)),
+            coords: item.coords.clone(),
+            measure: item.measure,
+        }
+    }
+
+    fn is_full(&self, inner: &NodeInner<K>) -> bool {
+        match &inner.children {
+            NodeChildren::Leaf(e) => e.len() >= self.cfg.leaf_cap,
+            NodeChildren::Dir(e) => e.len() >= self.cfg.dir_cap,
+        }
+    }
+
+    /// Insert one item. Thread-safe; may run concurrently with queries and
+    /// other inserts. Node aggregates along the path are updated on the way
+    /// down, so a concurrent query may transiently observe the aggregate
+    /// before the item reaches its leaf — completed inserts are always
+    /// visible to later queries.
+    pub fn insert(&self, item: &Item) {
+        debug_assert_eq!(item.coords.len(), self.schema.dims());
+        let entry = self.entry_of(item);
+        'retry: loop {
+            let root_arc = Arc::clone(&self.root.read());
+            let mut cur = RwLock::write_arc(&root_arc);
+            if self.is_full(&cur) {
+                drop(cur);
+                self.split_root(&root_arc);
+                continue 'retry;
+            }
+            cur.agg.add(entry.measure);
+            loop {
+                let next = match &mut cur.children {
+                    NodeChildren::Leaf(entries) => {
+                        match &entry.hkey {
+                            Some(h) => {
+                                let pos = entries
+                                    .partition_point(|e| e.hkey.as_ref().is_some_and(|k| k <= h));
+                                entries.insert(pos, entry);
+                            }
+                            None => entries.push(entry),
+                        }
+                        self.len.fetch_add(1, Ordering::AcqRel);
+                        return;
+                    }
+                    NodeChildren::Dir(entries) => loop {
+                        let idx = self.choose_child(entries, &entry);
+                        let child_arc = Arc::clone(&entries[idx].node);
+                        let child_guard = RwLock::write_arc(&child_arc);
+                        if self.is_full(&child_guard) {
+                            // Preventive split: replace the slot with two
+                            // fresh nodes and re-choose. The old node is
+                            // left untouched so in-flight readers keep a
+                            // complete snapshot.
+                            let (left, right) = self.split_node(&child_guard);
+                            drop(child_guard);
+                            entries[idx] = left;
+                            entries.insert(idx + 1, right);
+                            continue;
+                        }
+                        // Route through this child: grow its key (and LHV)
+                        // in the parent slot before handing the lock over.
+                        entries[idx].key.extend_item(&self.schema, item);
+                        if let Some(h) = &entry.hkey {
+                            match &mut entries[idx].lhv {
+                                Some(l) if *h <= *l => {}
+                                slot => *slot = Some(h.clone()),
+                            }
+                        }
+                        break child_guard;
+                    },
+                };
+                let mut next = next;
+                next.agg.add(entry.measure);
+                cur = next; // parent guard released here
+            }
+        }
+    }
+
+    /// Split a full root by building two fresh children and swapping the
+    /// root pointer. The old root stays intact for concurrent readers.
+    fn split_root(&self, old_root: &Arc<Node<K>>) {
+        let mut rp = self.root.write();
+        if !Arc::ptr_eq(&rp, old_root) {
+            return; // someone else already replaced it
+        }
+        let guard = old_root.read();
+        if !self.is_full(&guard) {
+            return; // someone else already split it
+        }
+        let (left, right) = self.split_node(&guard);
+        let agg = guard.agg;
+        drop(guard);
+        *rp = new_dir(vec![left, right], agg);
+    }
+
+    /// Partition a full node's contents into two fresh nodes, choosing the
+    /// split point that minimizes overlap between the resulting keys
+    /// (paper §III-D). Returns the two parent slots.
+    fn split_node(&self, inner: &NodeInner<K>) -> (DirEntry<K>, DirEntry<K>) {
+        match &inner.children {
+            NodeChildren::Leaf(entries) => {
+                let mut sorted: Vec<Entry> = entries.clone();
+                if self.mapper.is_none() {
+                    sort_entries_geometric(&self.schema, &mut sorted);
+                }
+                let keys: Vec<K> = sorted
+                    .iter()
+                    .map(|e| K::from_item(&self.schema, &e.to_item()))
+                    .collect();
+                let split = self.best_split(&keys, self.cfg.min_leaf());
+                let right_entries = sorted.split_off(split);
+                (self.make_leaf_slot(sorted), self.make_leaf_slot(right_entries))
+            }
+            NodeChildren::Dir(entries) => {
+                let mut sorted: Vec<DirEntry<K>> = entries.clone();
+                if self.mapper.is_none() {
+                    sort_dir_geometric(&self.schema, &mut sorted);
+                }
+                let keys: Vec<K> = sorted.iter().map(|e| e.key.clone()).collect();
+                let split = self.best_split(&keys, self.cfg.min_dir());
+                let right_entries = sorted.split_off(split);
+                (self.make_dir_slot(sorted), self.make_dir_slot(right_entries))
+            }
+        }
+    }
+
+    pub(crate) fn make_leaf_slot(&self, entries: Vec<Entry>) -> DirEntry<K> {
+        let mut key = K::empty(&self.schema);
+        let mut agg = Aggregate::empty();
+        let mut lhv: Option<BigIndex> = None;
+        for e in &entries {
+            key.extend_item(&self.schema, &e.to_item());
+            agg.add(e.measure);
+            if let Some(h) = &e.hkey {
+                match &mut lhv {
+                    Some(l) if *h <= *l => {}
+                    slot => *slot = Some(h.clone()),
+                }
+            }
+        }
+        DirEntry { key, lhv, node: new_leaf(entries, agg) }
+    }
+
+    pub(crate) fn make_dir_slot(&self, entries: Vec<DirEntry<K>>) -> DirEntry<K> {
+        let mut key = K::empty(&self.schema);
+        let mut agg = Aggregate::empty();
+        let mut lhv: Option<BigIndex> = None;
+        for e in &entries {
+            key.extend_key(&self.schema, &e.key);
+            agg.merge(&e.node.read().agg);
+            if let Some(h) = &e.lhv {
+                match &mut lhv {
+                    Some(l) if *h <= *l => {}
+                    slot => *slot = Some(h.clone()),
+                }
+            }
+        }
+        DirEntry { key, lhv, node: new_dir(entries, agg) }
+    }
+
+    /// Least-overlap split index over an ordered key sequence: evaluates
+    /// every legal split in linear time via prefix/suffix key unions and
+    /// returns the index minimizing overlap between the two sides
+    /// (balance breaks ties).
+    fn best_split(&self, keys: &[K], min_fill: usize) -> usize {
+        let n = keys.len();
+        debug_assert!(n >= 2);
+        let min = min_fill.min(n / 2).max(1);
+        let lo = min;
+        let hi = n - min;
+        // prefix[i] = union of keys[0..i]; suffix[i] = union of keys[i..n].
+        let mut prefix = Vec::with_capacity(n + 1);
+        prefix.push(K::empty(&self.schema));
+        for k in keys {
+            let mut next = prefix.last().unwrap().clone();
+            next.extend_key(&self.schema, k);
+            prefix.push(next);
+        }
+        let mut suffix = vec![K::empty(&self.schema); n + 1];
+        for i in (0..n).rev() {
+            let mut s = suffix[i + 1].clone();
+            s.extend_key(&self.schema, &keys[i]);
+            suffix[i] = s;
+        }
+        let mut best = lo;
+        let mut best_cost = (f64::INFINITY, usize::MAX);
+        for i in lo..=hi {
+            let overlap = prefix[i].overlap_frac(&self.schema, &suffix[i]);
+            let balance = (2 * i).abs_diff(n);
+            if (overlap, balance) < best_cost {
+                best_cost = (overlap, balance);
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn choose_child(&self, entries: &[DirEntry<K>], entry: &Entry) -> usize {
+        debug_assert!(!entries.is_empty());
+        match &entry.hkey {
+            Some(h) => {
+                // Hilbert descent: first child whose LHV bounds the key.
+                entries
+                    .iter()
+                    .position(|e| e.lhv.as_ref().is_some_and(|l| l >= h))
+                    .unwrap_or(entries.len() - 1)
+            }
+            None => {
+                let item = entry.to_item();
+                // Prefer a child that already contains the item (smallest
+                // volume wins), mirroring R*-style descent.
+                let mut best_contained: Option<(usize, f64)> = None;
+                for (i, e) in entries.iter().enumerate() {
+                    if e.key.contains_item(&item) {
+                        let v = e.key.volume_frac(&self.schema);
+                        if best_contained.is_none_or(|(_, bv)| v < bv) {
+                            best_contained = Some((i, v));
+                        }
+                    }
+                }
+                if let Some((i, _)) = best_contained {
+                    return i;
+                }
+                // Otherwise minimize the overlap increase against siblings
+                // ("the high global cost of overlap dominates", §III-C).
+                let mut best = 0usize;
+                let mut best_cost = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+                for (i, e) in entries.iter().enumerate() {
+                    let mut grown = e.key.clone();
+                    grown.extend_item(&self.schema, &item);
+                    let mut inc = 0.0;
+                    for (j, other) in entries.iter().enumerate() {
+                        if i != j {
+                            inc += grown.overlap_frac(&self.schema, &other.key)
+                                - e.key.overlap_frac(&self.schema, &other.key);
+                        }
+                    }
+                    let enlarge = grown.volume_frac(&self.schema) - e.key.volume_frac(&self.schema);
+                    let vol = e.key.volume_frac(&self.schema);
+                    let cost = (inc, enlarge, vol);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Aggregate every item inside `q`.
+    pub fn query(&self, q: &QueryBox) -> Aggregate {
+        self.query_traced(q).0
+    }
+
+    /// Aggregate with traversal statistics.
+    pub fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {
+        debug_assert_eq!(q.dims(), self.schema.dims());
+        let mut agg = Aggregate::empty();
+        let mut trace = QueryTrace::default();
+        let root = Arc::clone(&self.root.read());
+        self.query_node(&root, q, &mut agg, &mut trace);
+        (agg, trace)
+    }
+
+    fn query_node(&self, node: &Arc<Node<K>>, q: &QueryBox, agg: &mut Aggregate, trace: &mut QueryTrace) {
+        trace.nodes_visited += 1;
+        let guard = node.read();
+        match &guard.children {
+            NodeChildren::Leaf(entries) => {
+                trace.items_scanned += entries.len() as u64;
+                for e in entries {
+                    if e.coords
+                        .iter()
+                        .zip(q.ranges.iter())
+                        .all(|(&c, &(lo, hi))| lo <= c && c <= hi)
+                    {
+                        agg.add(e.measure);
+                    }
+                }
+            }
+            NodeChildren::Dir(entries) => {
+                let mut descend: Vec<Arc<Node<K>>> = Vec::new();
+                for e in entries {
+                    if !e.key.overlaps_query(q) {
+                        trace.pruned += 1;
+                    } else if self.cfg.aggregate_cache && e.key.covered_by_query(q) {
+                        // Coverage resilience: consume the cached aggregate.
+                        trace.covered_hits += 1;
+                        agg.merge(&e.node.read().agg);
+                    } else {
+                        descend.push(Arc::clone(&e.node));
+                    }
+                }
+                drop(guard);
+                for child in descend {
+                    self.query_node(&child, q, agg, trace);
+                }
+            }
+        }
+    }
+
+    /// Bounding rectangle of the whole tree.
+    pub fn mbr(&self) -> Mbr {
+        let root = Arc::clone(&self.root.read());
+        let guard = root.read();
+        match &guard.children {
+            NodeChildren::Leaf(entries) => {
+                let mut m = Mbr::empty_with_dims(self.schema.dims());
+                for e in entries {
+                    m.extend_item(&self.schema, &e.to_item());
+                }
+                m
+            }
+            NodeChildren::Dir(entries) => {
+                let mut m = Mbr::empty_with_dims(self.schema.dims());
+                for e in entries {
+                    m.extend_mbr(&e.key.to_mbr(&self.schema));
+                }
+                m
+            }
+        }
+    }
+
+    /// Aggregate of the whole tree (root cache).
+    pub fn total(&self) -> Aggregate {
+        self.root.read().read().agg
+    }
+
+    /// Snapshot every item (used by splits, migration and tests).
+    pub fn items(&self) -> Vec<Item> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        let root = Arc::clone(&self.root.read());
+        self.collect_items(&root, &mut out);
+        out
+    }
+
+    fn collect_items(&self, node: &Arc<Node<K>>, out: &mut Vec<Item>) {
+        let guard = node.read();
+        match &guard.children {
+            NodeChildren::Leaf(entries) => {
+                out.extend(entries.iter().map(Entry::to_item));
+            }
+            NodeChildren::Dir(entries) => {
+                let children: Vec<_> = entries.iter().map(|e| Arc::clone(&e.node)).collect();
+                drop(guard);
+                for c in children {
+                    self.collect_items(&c, out);
+                }
+            }
+        }
+    }
+
+    /// Structural statistics (node counts, height).
+    pub fn structure(&self) -> TreeStructure {
+        let root = Arc::clone(&self.root.read());
+        let mut s = TreeStructure::default();
+        self.walk_structure(&root, 1, &mut s);
+        s
+    }
+
+    fn walk_structure(&self, node: &Arc<Node<K>>, depth: u32, s: &mut TreeStructure) {
+        s.height = s.height.max(depth);
+        let guard = node.read();
+        match &guard.children {
+            NodeChildren::Leaf(entries) => {
+                s.leaves += 1;
+                s.leaf_entries += entries.len() as u64;
+            }
+            NodeChildren::Dir(entries) => {
+                s.dirs += 1;
+                s.dir_entries += entries.len() as u64;
+                let children: Vec<_> = entries.iter().map(|e| Arc::clone(&e.node)).collect();
+                drop(guard);
+                for c in children {
+                    self.walk_structure(&c, depth + 1, s);
+                }
+            }
+        }
+    }
+
+    /// Replace the contents of this (empty) tree with a pre-built root.
+    /// Used by bulk loading; panics if the tree is non-empty.
+    pub(crate) fn install_bulk(&self, root: Arc<Node<K>>, count: u64) {
+        let mut rp = self.root.write();
+        assert_eq!(self.len(), 0, "bulk install requires an empty tree");
+        *rp = root;
+        self.len.store(count, Ordering::Release);
+    }
+
+    pub(crate) fn cfg(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn mapper(&self) -> Option<&HilbertMapper> {
+        self.mapper.as_ref()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn root_arc(&self) -> Arc<Node<K>> {
+        Arc::clone(&self.root.read())
+    }
+}
+
+/// Structural statistics of a tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TreeStructure {
+    /// Number of directory nodes.
+    pub dirs: u64,
+    /// Number of leaf nodes.
+    pub leaves: u64,
+    /// Total directory entries.
+    pub dir_entries: u64,
+    /// Total stored items.
+    pub leaf_entries: u64,
+    /// Tree height (1 = a single leaf).
+    pub height: u32,
+}
+
+/// Sort leaf entries along the dimension with the widest coordinate spread
+/// (classic linear split axis choice).
+fn sort_entries_geometric(schema: &Schema, entries: &mut [Entry]) {
+    let dims = schema.dims();
+    let mut best_dim = 0usize;
+    let mut best_spread = -1.0f64;
+    for d in 0..dims {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for e in entries.iter() {
+            lo = lo.min(e.coords[d]);
+            hi = hi.max(e.coords[d]);
+        }
+        let spread = (hi.saturating_sub(lo)) as f64 / schema.dim(d).ordinal_end() as f64;
+        if spread > best_spread {
+            best_spread = spread;
+            best_dim = d;
+        }
+    }
+    entries.sort_by_key(|e| e.coords[best_dim]);
+}
+
+/// Sort directory entries by their key hull's center along the widest axis.
+fn sort_dir_geometric<K: Key>(schema: &Schema, entries: &mut Vec<DirEntry<K>>) {
+    let dims = schema.dims();
+    let hulls: Vec<Mbr> = entries.iter().map(|e| e.key.to_mbr(schema)).collect();
+    let mut best_dim = 0usize;
+    let mut best_spread = -1.0f64;
+    for d in 0..dims {
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for h in &hulls {
+            if let Some(r) = h.ranges() {
+                lo = lo.min(r[d].0);
+                hi = hi.max(r[d].1);
+            }
+        }
+        if lo == u64::MAX {
+            continue;
+        }
+        let spread = (hi - lo) as f64 / schema.dim(d).ordinal_end() as f64;
+        if spread > best_spread {
+            best_spread = spread;
+            best_dim = d;
+        }
+    }
+    let mut indexed: Vec<(u64, DirEntry<K>)> = entries
+        .drain(..)
+        .zip(hulls)
+        .map(|(e, h)| {
+            let center = h.ranges().map_or(0, |r| r[best_dim].0 / 2 + r[best_dim].1 / 2);
+            (center, e)
+        })
+        .collect();
+    indexed.sort_by_key(|(c, _)| *c);
+    entries.extend(indexed.into_iter().map(|(_, e)| e));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volap_dims::Mds;
+
+    fn small_cfg() -> TreeConfig {
+        TreeConfig { leaf_cap: 8, dir_cap: 4, ..TreeConfig::default() }
+    }
+
+    fn items_grid(schema: &Schema, n: u64) -> Vec<Item> {
+        // Deterministic pseudo-random items via a simple LCG.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        (0..n)
+            .map(|i| {
+                let coords: Vec<u64> = (0..schema.dims())
+                    .map(|d| next() % schema.dim(d).ordinal_end())
+                    .collect();
+                Item::new(coords, (i % 100) as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn insert_then_total_matches() {
+        let schema = Schema::uniform(3, 2, 8);
+        for policy in [InsertPolicy::Geometric, InsertPolicy::Hilbert { expand: true }] {
+            let tree: ConcurrentTree<Mds> = ConcurrentTree::new(schema.clone(), policy, small_cfg());
+            let items = items_grid(&schema, 500);
+            let mut expect = Aggregate::empty();
+            for it in &items {
+                tree.insert(it);
+                expect.add(it.measure);
+            }
+            assert_eq!(tree.len(), 500);
+            let total = tree.total();
+            assert_eq!(total.count, expect.count);
+            assert!((total.sum - expect.sum).abs() < 1e-6);
+            assert_eq!(total.min, expect.min);
+            assert_eq!(total.max, expect.max);
+        }
+    }
+
+    #[test]
+    fn queries_match_brute_force() {
+        let schema = Schema::uniform(3, 2, 8);
+        let items = items_grid(&schema, 800);
+        let queries = [
+            QueryBox::all(&schema),
+            QueryBox::from_ranges(vec![(0, 20), (0, 63), (0, 63)]),
+            QueryBox::from_ranges(vec![(10, 40), (5, 35), (0, 63)]),
+            QueryBox::from_ranges(vec![(63, 63), (63, 63), (63, 63)]),
+        ];
+        for policy in [
+            InsertPolicy::Geometric,
+            InsertPolicy::Hilbert { expand: true },
+            InsertPolicy::Hilbert { expand: false },
+        ] {
+            let mbr_tree: ConcurrentTree<Mbr> = ConcurrentTree::new(schema.clone(), policy, small_cfg());
+            let mds_tree: ConcurrentTree<Mds> = ConcurrentTree::new(schema.clone(), policy, small_cfg());
+            for it in &items {
+                mbr_tree.insert(it);
+                mds_tree.insert(it);
+            }
+            for q in &queries {
+                let mut expect = Aggregate::empty();
+                for it in items.iter().filter(|it| q.contains_item(it)) {
+                    expect.add(it.measure);
+                }
+                for (name, got) in [("mbr", mbr_tree.query(q)), ("mds", mds_tree.query(q))] {
+                    assert_eq!(got.count, expect.count, "{name} {policy:?} count mismatch");
+                    assert!((got.sum - expect.sum).abs() < 1e-6, "{name} {policy:?} sum mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_uses_cached_aggregates() {
+        let schema = Schema::uniform(2, 2, 16);
+        let tree: ConcurrentTree<Mds> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Hilbert { expand: true }, small_cfg());
+        for it in items_grid(&schema, 2000) {
+            tree.insert(&it);
+        }
+        let (_, trace) = tree.query_traced(&QueryBox::all(&schema));
+        // The whole-database query must be answered at the root's children.
+        assert!(trace.covered_hits >= 1);
+        assert_eq!(trace.items_scanned, 0, "full coverage must not scan leaves");
+    }
+
+    #[test]
+    fn structure_is_balanced_by_construction() {
+        let schema = Schema::uniform(2, 2, 16);
+        for policy in [InsertPolicy::Geometric, InsertPolicy::Hilbert { expand: true }] {
+            let tree: ConcurrentTree<Mbr> = ConcurrentTree::new(schema.clone(), policy, small_cfg());
+            for it in items_grid(&schema, 3000) {
+                tree.insert(&it);
+            }
+            let s = tree.structure();
+            assert_eq!(s.leaf_entries, 3000);
+            assert!(s.height >= 2);
+            // Preventive splits keep every node within capacity.
+            assert!(s.leaf_entries <= s.leaves * small_cfg().leaf_cap as u64);
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries_are_safe() {
+        let schema = Schema::uniform(3, 2, 8);
+        let tree: Arc<ConcurrentTree<Mds>> = Arc::new(ConcurrentTree::new(
+            schema.clone(),
+            InsertPolicy::Hilbert { expand: true },
+            small_cfg(),
+        ));
+        let items = items_grid(&schema, 4000);
+        let n_threads = 4;
+        let chunk = items.len() / n_threads;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let tree = Arc::clone(&tree);
+                let slice = items[t * chunk..(t + 1) * chunk].to_vec();
+                s.spawn(move || {
+                    for it in slice {
+                        tree.insert(&it);
+                    }
+                });
+            }
+            // Concurrent readers: must not deadlock or panic.
+            let qtree = Arc::clone(&tree);
+            let q = QueryBox::all(&schema);
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let _ = qtree.query(&q);
+                }
+            });
+        });
+        assert_eq!(tree.len(), items.len() as u64);
+        let total = tree.query(&QueryBox::all(&schema));
+        assert_eq!(total.count, items.len() as u64);
+    }
+
+    #[test]
+    fn items_snapshot_roundtrips() {
+        let schema = Schema::uniform(2, 3, 4);
+        let tree: ConcurrentTree<Mbr> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Geometric, small_cfg());
+        let mut items = items_grid(&schema, 300);
+        for it in &items {
+            tree.insert(it);
+        }
+        let mut got = tree.items();
+        let key = |i: &Item| (i.coords.to_vec(), i.measure.to_bits());
+        items.sort_by_key(key);
+        got.sort_by_key(key);
+        assert_eq!(items, got);
+    }
+
+    #[test]
+    fn hilbert_leaves_stay_sorted() {
+        let schema = Schema::uniform(2, 2, 8);
+        let tree: ConcurrentTree<Mbr> = ConcurrentTree::new(
+            schema.clone(),
+            InsertPolicy::Hilbert { expand: false },
+            small_cfg(),
+        );
+        for it in items_grid(&schema, 1000) {
+            tree.insert(&it);
+        }
+        // Walk leaves: within every leaf, entries must be sorted by hkey;
+        // across directory levels, subtree maxima must be non-decreasing and
+        // bounded by the stored LHV.
+        fn walk(node: &Arc<Node<Mbr>>) -> Option<BigIndex> {
+            let g = node.read();
+            match &g.children {
+                NodeChildren::Leaf(entries) => {
+                    let keys: Vec<_> = entries.iter().map(|e| e.hkey.clone().unwrap()).collect();
+                    for w in keys.windows(2) {
+                        assert!(w[0] <= w[1], "leaf entries out of Hilbert order");
+                    }
+                    keys.last().cloned()
+                }
+                NodeChildren::Dir(entries) => {
+                    let mut last: Option<BigIndex> = None;
+                    for e in entries {
+                        let sub_max = walk(&e.node);
+                        if let (Some(prev), Some(cur)) = (&last, &sub_max) {
+                            assert!(prev <= cur, "directory children out of LHV order");
+                        }
+                        if let Some(cur) = sub_max {
+                            if let Some(lhv) = &e.lhv {
+                                assert!(*lhv >= cur, "LHV does not bound subtree");
+                            }
+                            last = Some(cur);
+                        }
+                    }
+                    last
+                }
+            }
+        }
+        walk(&tree.root_arc());
+    }
+
+    #[test]
+    fn empty_tree_queries_are_empty() {
+        let schema = Schema::uniform(2, 2, 8);
+        let tree: ConcurrentTree<Mds> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Hilbert { expand: true }, small_cfg());
+        assert!(tree.is_empty());
+        let agg = tree.query(&QueryBox::all(&schema));
+        assert!(agg.is_empty());
+        assert!(tree.mbr().is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Regenerate every paper figure (full scale). Outputs land in results/.
+set -x
+cd "$(dirname "$0")/.."
+for b in fig4 fig5 fig6 fig7 fig8 fig9 fig10 bulk ablate; do
+  ./target/release/$b > results/$b.txt 2>&1
+done

@@ -1,0 +1,138 @@
+//! Cross-server freshness: the live system's bounded staleness (§IV-F).
+
+use std::time::{Duration, Instant};
+
+use volap::{Cluster, FreshnessSim, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{QueryBox, Schema};
+
+#[test]
+fn cross_server_visibility_is_bounded_by_sync_period() {
+    let schema = Schema::tpcds();
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.workers = 2;
+    cfg.servers = 2;
+    cfg.sync_period = Duration::from_millis(60);
+    cfg.manager_period = Duration::from_millis(50);
+    cfg.max_shard_items = 1_000;
+    let sync = cfg.sync_period;
+    let cluster = Cluster::start(cfg);
+    let writer = cluster.client_on(0);
+    let reader = cluster.client_on(1);
+    let mut gen = DataGen::new(&schema, 3, 1.5);
+    // Preload so shard boxes exist and splits have happened.
+    for it in gen.items(2_000) {
+        writer.insert(&it).unwrap();
+    }
+    std::thread::sleep(4 * sync);
+
+    // Measure worst-case visibility delay across many probes.
+    let q = QueryBox::all(&schema);
+    let (base, _) = reader.query(&q).unwrap();
+    let mut base_count = base.count;
+    let mut worst = Duration::ZERO;
+    for round in 0..30 {
+        let batch = gen.items(10);
+        for it in &batch {
+            writer.insert(it).unwrap();
+        }
+        let target = base_count + batch.len() as u64;
+        let start = Instant::now();
+        loop {
+            let (agg, _) = reader.query(&q).unwrap();
+            if agg.count >= target {
+                break;
+            }
+            assert!(
+                start.elapsed() < 50 * sync,
+                "round {round}: inserts not visible after {:?}",
+                start.elapsed()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        worst = worst.max(start.elapsed());
+        base_count = target;
+    }
+    // The paper's bound: consistency always within the sync period scale
+    // (3 s there, 60 ms here) plus propagation slack.
+    assert!(
+        worst < 10 * sync,
+        "worst-case visibility {worst:?} violates bound (sync {sync:?})"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn expansion_probability_shrinks_as_database_grows() {
+    let schema = Schema::tpcds();
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.workers = 2;
+    cfg.servers = 1;
+    cfg.manager_enabled = true;
+    cfg.max_shard_items = 5_000;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 4, 1.5);
+    for it in gen.items(1_000) {
+        client.insert(&it).unwrap();
+    }
+    let early = cluster.expansion_prob();
+    for it in gen.items(9_000) {
+        client.insert(&it).unwrap();
+    }
+    let late = cluster.expansion_prob();
+    // Boxes converge to the populated space: later inserts expand far less
+    // often. (`late` is cumulative, so the bound is generous.)
+    assert!(
+        late < early,
+        "expansion probability must fall as boxes converge: early {early}, late {late}"
+    );
+    assert!(late < 0.5, "mature system should rarely expand, got {late}");
+    cluster.shutdown();
+}
+
+/// The simulation pipeline of Figure 10, fed with parameters measured from
+/// a real cluster run.
+#[test]
+fn freshness_simulation_from_measured_parameters() {
+    let schema = Schema::tpcds();
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.workers = 2;
+    cfg.servers = 2;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 5, 1.5);
+
+    // Measure insert latencies.
+    let mut latencies = Vec::with_capacity(500);
+    for it in gen.items(500) {
+        let t = Instant::now();
+        client.insert(&it).unwrap();
+        latencies.push(t.elapsed().as_secs_f64());
+    }
+    let expansion_prob = cluster.expansion_prob();
+    cluster.shutdown();
+
+    let sim = FreshnessSim {
+        insert_rate: 50_000.0,
+        coverage: 0.5,
+        sync_period: 3.0,
+        apply_latency: 0.01,
+        expansion_prob,
+        insert_latency_samples: latencies,
+    };
+    let m0 = sim.avg_missed(0.0, 100_000, 1);
+    let m_late = sim.avg_missed(3.2, 100_000, 1);
+    assert!(m0 > 0.0, "in-flight inserts must be missable at elapsed 0");
+    assert!(m_late < 1e-6, "nothing may be missed past the sync period");
+    let max_v = sim.max_visibility(200_000, 2);
+    assert!(max_v < 3.0 + 0.01 + 1.0, "visibility bound blown: {max_v}");
+    // A young cluster expands boxes often, so the miss count at small
+    // elapsed times can be large; the PMF must still be a valid partial
+    // distribution, and past the sync window all mass sits at zero.
+    let pmf = sim.missed_pmf(0.25, 4, 100_000, 3);
+    assert!(pmf.iter().sum::<f64>() <= 1.0 + 1e-9);
+    assert!(pmf.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    let settled = sim.missed_pmf(3.2, 4, 100_000, 3);
+    assert!(settled[0] > 0.999, "past the sync window nothing is missed");
+}

@@ -1,0 +1,209 @@
+//! Direct worker-protocol tests: drive a single worker over the wire
+//! without servers or manager, exercising the §III-E state machine.
+
+use std::time::Duration;
+
+use volap::worker::{create_empty_shard, spawn_worker};
+use volap::{ImageStore, Request, Response, VolapConfig};
+use volap_coord::CoordService;
+use volap_data::DataGen;
+use volap_dims::{QueryBox, Schema};
+use volap_net::{Endpoint, Network};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn setup(schema: &Schema) -> (Network, ImageStore, VolapConfig, Endpoint) {
+    let net = Network::new();
+    let image = ImageStore::new(CoordService::new(), schema.clone());
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.worker_threads = 2;
+    cfg.stats_period = Duration::from_millis(25);
+    let driver = net.endpoint("driver");
+    (net, image, cfg, driver)
+}
+
+fn ask(driver: &Endpoint, to: &str, req: Request, schema: &Schema) -> Response {
+    let bytes = driver.request(to, req.encode(), TIMEOUT).expect("request");
+    Response::decode(schema, &bytes).expect("decode")
+}
+
+#[test]
+fn insert_query_roundtrip_over_wire() {
+    let schema = Schema::uniform(3, 2, 8);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w = spawn_worker(&net, &image, &cfg, "w0");
+    create_empty_shard(&driver, "w0", &schema, 1, TIMEOUT).unwrap();
+
+    let mut gen = DataGen::new(&schema, 1, 1.0);
+    for it in gen.items(100) {
+        let resp = ask(&driver, "w0", Request::Insert { shard: 1, item: it }, &schema);
+        assert_eq!(resp, Response::Ack);
+    }
+    match ask(
+        &driver,
+        "w0",
+        Request::Query { shards: vec![1], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, shards_searched } => {
+            assert_eq!(agg.count, 100);
+            assert_eq!(shards_searched, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    w.stop();
+}
+
+#[test]
+fn unknown_shard_and_garbage_are_rejected() {
+    let schema = Schema::uniform(2, 2, 8);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w = spawn_worker(&net, &image, &cfg, "w0");
+    let mut gen = DataGen::new(&schema, 2, 1.0);
+    let item = gen.item();
+    match ask(&driver, "w0", Request::Insert { shard: 99, item }, &schema) {
+        Response::Err(e) => assert!(e.contains("unknown shard")),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Garbage payload gets an error reply, not a hang.
+    let bytes = driver.request("w0", vec![0xDE, 0xAD], TIMEOUT).unwrap();
+    assert!(matches!(Response::decode(&schema, &bytes), Ok(Response::Err(_))));
+    // Ping works.
+    assert_eq!(ask(&driver, "w0", Request::Ping, &schema), Response::Ack);
+    w.stop();
+}
+
+#[test]
+fn split_over_wire_updates_image_and_aliases() {
+    let schema = Schema::uniform(2, 2, 16);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w = spawn_worker(&net, &image, &cfg, "w0");
+    create_empty_shard(&driver, "w0", &schema, 1, TIMEOUT).unwrap();
+    let mut gen = DataGen::new(&schema, 3, 1.0);
+    let items = gen.items(500);
+    assert_eq!(
+        ask(&driver, "w0", Request::BulkInsert { shard: 1, items: items.clone() }, &schema),
+        Response::Ack
+    );
+    // Split 1 -> (10, 11).
+    let (left, right) = match ask(
+        &driver,
+        "w0",
+        Request::SplitShard { shard: 1, left_id: 10, right_id: 11 },
+        &schema,
+    ) {
+        Response::SplitDone { left, right } => (left, right),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(left.len + right.len, 500);
+    assert!(left.len > 0 && right.len > 0);
+    // Image: old record gone, halves present.
+    assert!(image.shard(1).is_none());
+    assert_eq!(image.shard(10).unwrap().worker, "w0");
+    assert_eq!(image.shard(11).unwrap().worker, "w0");
+    // Old-ID traffic still works through the alias (bounded staleness).
+    let it = gen.item();
+    assert_eq!(ask(&driver, "w0", Request::Insert { shard: 1, item: it }, &schema), Response::Ack);
+    match ask(
+        &driver,
+        "w0",
+        Request::Query { shards: vec![1], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, shards_searched } => {
+            assert_eq!(agg.count, 501);
+            assert_eq!(shards_searched, 2, "alias expands to both halves");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Splitting an already-split shard fails gracefully.
+    match ask(&driver, "w0", Request::SplitShard { shard: 1, left_id: 20, right_id: 21 }, &schema) {
+        Response::Err(e) => assert!(e.contains("busy or gone")),
+        other => panic!("unexpected {other:?}"),
+    }
+    w.stop();
+}
+
+#[test]
+fn migrate_over_wire_forwards_and_updates_image() {
+    let schema = Schema::uniform(2, 2, 16);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w0 = spawn_worker(&net, &image, &cfg, "w0");
+    let w1 = spawn_worker(&net, &image, &cfg, "w1");
+    create_empty_shard(&driver, "w0", &schema, 5, TIMEOUT).unwrap();
+    let mut gen = DataGen::new(&schema, 4, 1.0);
+    let items = gen.items(300);
+    ask(&driver, "w0", Request::BulkInsert { shard: 5, items }, &schema);
+
+    assert_eq!(
+        ask(&driver, "w0", Request::Migrate { shard: 5, dest: "w1".into() }, &schema),
+        Response::Ack
+    );
+    assert_eq!(image.shard(5).unwrap().worker, "w1");
+    // Queries through the OLD worker are forwarded transparently.
+    match ask(
+        &driver,
+        "w0",
+        Request::Query { shards: vec![5], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, .. } => assert_eq!(agg.count, 300),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Inserts through the old worker land on the new one.
+    let it = gen.item();
+    assert_eq!(ask(&driver, "w0", Request::Insert { shard: 5, item: it }, &schema), Response::Ack);
+    match ask(
+        &driver,
+        "w1",
+        Request::Query { shards: vec![5], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, .. } => assert_eq!(agg.count, 301),
+        other => panic!("unexpected {other:?}"),
+    }
+    // Migrating to self is a no-op ack; to a dead worker an error.
+    assert_eq!(
+        ask(&driver, "w1", Request::Migrate { shard: 5, dest: "w1".into() }, &schema),
+        Response::Ack
+    );
+    match ask(&driver, "w1", Request::Migrate { shard: 5, dest: "ghost".into() }, &schema) {
+        Response::Err(e) => assert!(e.contains("adopt failed")),
+        other => panic!("unexpected {other:?}"),
+    }
+    // The failed migration must have reverted to serving state.
+    match ask(
+        &driver,
+        "w1",
+        Request::Query { shards: vec![5], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, .. } => assert_eq!(agg.count, 301),
+        other => panic!("unexpected {other:?}"),
+    }
+    w0.stop();
+    w1.stop();
+}
+
+#[test]
+fn worker_stats_reflect_contents() {
+    let schema = Schema::uniform(2, 2, 8);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w = spawn_worker(&net, &image, &cfg, "w0");
+    create_empty_shard(&driver, "w0", &schema, 1, TIMEOUT).unwrap();
+    create_empty_shard(&driver, "w0", &schema, 2, TIMEOUT).unwrap();
+    let mut gen = DataGen::new(&schema, 5, 1.0);
+    ask(&driver, "w0", Request::BulkInsert { shard: 1, items: gen.items(40) }, &schema);
+    ask(&driver, "w0", Request::BulkInsert { shard: 2, items: gen.items(7) }, &schema);
+    match ask(&driver, "w0", Request::GetWorkerStats, &schema) {
+        Response::WorkerStats { mut shards } => {
+            shards.sort_by_key(|r| r.id);
+            assert_eq!(shards.len(), 2);
+            assert_eq!((shards[0].id, shards[0].len), (1, 40));
+            assert_eq!((shards[1].id, shards[1].len), (2, 7));
+            assert!(!shards[0].mbr.ranges().is_none());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    w.stop();
+}

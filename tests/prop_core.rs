@@ -1,0 +1,120 @@
+//! Property-based tests for the system layer: wire codec robustness and
+//! server-index invariants.
+
+use proptest::prelude::*;
+use volap::{Request, Response, ServerIndex, ShardRecord};
+use volap_dims::{Item, Key, Mbr, QueryBox, Schema};
+
+fn schema() -> Schema {
+    Schema::uniform(2, 2, 16)
+}
+
+fn mbr(lo0: u64, hi0: u64, lo1: u64, hi1: u64) -> Mbr {
+    Mbr::from_ranges(vec![(lo0.min(hi0), lo0.max(hi0)), (lo1.min(hi1), lo1.max(hi1))])
+}
+
+proptest! {
+    /// Request decoding never panics on arbitrary bytes, and every decoded
+    /// request re-encodes to something that decodes equal (partial
+    /// round-trip robustness).
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        if let Ok(req) = Request::decode(&bytes) {
+            let re = Request::decode(&req.encode()).unwrap();
+            prop_assert_eq!(re, req);
+        }
+    }
+
+    /// Response decoding never panics on arbitrary bytes.
+    #[test]
+    fn response_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let s = schema();
+        if let Ok(resp) = Response::decode(&s, &bytes) {
+            let re = Response::decode(&s, &resp.encode()).unwrap();
+            prop_assert_eq!(re, resp);
+        }
+    }
+
+    /// Shard records survive encode/decode for arbitrary contents.
+    #[test]
+    fn shard_record_roundtrip(id in any::<u64>(), len in any::<u64>(),
+                              worker in "[a-z0-9-]{0,16}",
+                              r in prop::collection::vec((0u64..256, 0u64..256), 2)) {
+        let s = schema();
+        let rec = ShardRecord {
+            id,
+            worker,
+            len,
+            mbr: mbr(r[0].0, r[0].1, r[1].0, r[1].1),
+        };
+        let back = ShardRecord::decode(&s, &rec.encode()).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    /// ServerIndex stays structurally valid under arbitrary interleavings
+    /// of add / expand / remove / route operations, and routing agrees with
+    /// a naive box scan.
+    #[test]
+    fn server_index_matches_naive_scan(
+        ops in prop::collection::vec((0u8..4, 0u64..24, prop::collection::vec(0u64..256, 4)), 1..60)
+    ) {
+        let s = schema();
+        let mut idx = ServerIndex::new(s.clone(), 4);
+        let mut naive: std::collections::HashMap<u64, Mbr> = std::collections::HashMap::new();
+        for (op, id, v) in ops {
+            match op {
+                0 => {
+                    if !naive.contains_key(&id) {
+                        let m = mbr(v[0], v[1], v[2], v[3]);
+                        idx.add_shard(id, m.clone());
+                        naive.insert(id, m);
+                    }
+                }
+                1 => {
+                    if naive.contains_key(&id) {
+                        let m = mbr(v[0], v[1], v[2], v[3]);
+                        prop_assert!(idx.expand_shard(id, &m));
+                        naive.get_mut(&id).unwrap().extend_mbr(&m);
+                    }
+                }
+                2 => {
+                    let existed = naive.remove(&id).is_some();
+                    prop_assert_eq!(idx.remove_shard(id), existed);
+                }
+                _ => {
+                    // Route an insert; the chosen shard must exist, and the
+                    // item must now be inside its (possibly expanded) box.
+                    let item = Item::new(vec![v[0], v[1]], 1.0);
+                    match idx.route_insert(&item) {
+                        None => prop_assert!(naive.is_empty()),
+                        Some((chosen, _)) => {
+                            prop_assert!(naive.contains_key(&chosen));
+                            prop_assert!(idx.shard_box(chosen).unwrap().contains_item(&item));
+                            naive.get_mut(&chosen).unwrap().extend_item(&s, &item);
+                        }
+                    }
+                }
+            }
+            idx.check_invariants();
+            prop_assert_eq!(idx.shard_count(), naive.len());
+        }
+        // Final routing equivalence: for a panel of queries, the index
+        // returns a superset-equal set of the naive overlap scan. (The
+        // index may only differ by being *conservative* — never by missing
+        // a shard, since keys only grow.)
+        for (qlo, qhi) in [(0u64, 255), (0, 63), (64, 191), (200, 255)] {
+            let q = QueryBox::from_ranges(vec![(qlo, qhi), (qlo, qhi)]);
+            let mut got = idx.route_query(&q);
+            got.sort_unstable();
+            let mut want: Vec<u64> = naive
+                .iter()
+                .filter(|(_, m)| m.overlaps_query(&q))
+                .map(|(&id, _)| id)
+                .collect();
+            want.sort_unstable();
+            for id in &want {
+                prop_assert!(got.contains(id), "index missed shard {id}");
+            }
+        }
+    }
+}
