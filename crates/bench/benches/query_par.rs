@@ -1,0 +1,60 @@
+//! Sequential vs parallel query execution on a single tree.
+//!
+//! Reports the same workload through `query` (one thread, recycled-stack
+//! traversal) and `query_par` (rayon subtree fan-out) at a small and a large
+//! tree size, so the speedup — and the small-tree overhead bound — are both
+//! visible in one run. `bench_query` (in `src/bin/`) records the same
+//! comparison into `BENCH_query.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use volap_data::{DataGen, QueryGen};
+use volap_dims::{Mds, QueryBox, Schema};
+use volap_tree::serial::bulk_load;
+use volap_tree::{ConcurrentTree, InsertPolicy, TreeConfig};
+
+fn workload(schema: &Schema, n: usize) -> (ConcurrentTree<Mds>, Vec<QueryBox>) {
+    let mut gen = DataGen::new(schema, 11, 1.5);
+    let items = gen.items(n);
+    let sample = &items[..items.len().min(10_000)];
+    let mut qg = QueryGen::new(schema, 13, 0.65);
+    let queries: Vec<_> = (0..32).map(|_| qg.query(sample)).collect();
+    let tree: ConcurrentTree<Mds> = ConcurrentTree::new(
+        schema.clone(),
+        InsertPolicy::Hilbert { expand: true },
+        TreeConfig::default(),
+    );
+    bulk_load(&tree, items);
+    (tree, queries)
+}
+
+fn bench_seq_vs_par(c: &mut Criterion) {
+    let schema = Schema::tpcds();
+    let mut group = c.benchmark_group("query_seq_vs_par");
+    group.sample_size(10);
+    for n in [10_000usize, 500_000] {
+        let (tree, queries) = workload(&schema, n);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("seq", n), &queries, |b, queries| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in queries {
+                    total = total.wrapping_add(tree.query(q).count);
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("par", n), &queries, |b, queries| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in queries {
+                    total = total.wrapping_add(tree.query_par(q).count);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq_vs_par);
+criterion_main!(benches);

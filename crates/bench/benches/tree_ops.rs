@@ -44,11 +44,20 @@ fn bench_queries(c: &mut Criterion) {
     for kind in [StoreKind::PdcMds, StoreKind::HilbertPdcMds, StoreKind::HilbertRTree] {
         let store = build_store(kind, &schema, &TreeConfig::default());
         store.bulk_insert(items.clone());
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &queries, |b, queries| {
+        group.bench_with_input(BenchmarkId::new("seq", kind), &queries, |b, queries| {
             b.iter(|| {
                 let mut total = 0u64;
                 for q in queries {
                     total = total.wrapping_add(store.query(q).count);
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("par", kind), &queries, |b, queries| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for q in queries {
+                    total = total.wrapping_add(store.query_par(q).count);
                 }
                 total
             })

@@ -1,0 +1,81 @@
+//! Sequential-vs-parallel query benchmark, recorded to `BENCH_query.json`.
+//!
+//! Measures the same query batch through `ConcurrentTree::query` and
+//! `ConcurrentTree::query_par` at a small (10 k) and a large (500 k) tree,
+//! prints a table, and writes machine-readable results (including the core
+//! count the run had, since the parallel speedup is meaningless without it)
+//! so the perf trajectory is tracked from PR to PR.
+
+use std::time::Instant;
+
+use volap_data::{DataGen, QueryGen};
+use volap_dims::{Mds, QueryBox, Schema};
+use volap_tree::serial::bulk_load;
+use volap_tree::{ConcurrentTree, InsertPolicy, TreeConfig};
+
+struct Row {
+    items: usize,
+    seq_ms: f64,
+    par_ms: f64,
+}
+
+fn run_batch(tree: &ConcurrentTree<Mds>, queries: &[QueryBox], par: bool) -> (u64, f64) {
+    let t = Instant::now();
+    let mut total = 0u64;
+    for q in queries {
+        let agg = if par { tree.query_par(q) } else { tree.query(q) };
+        total = total.wrapping_add(agg.count);
+    }
+    (total, t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64)
+}
+
+fn main() {
+    let schema = Schema::tpcds();
+    let n_queries = 32;
+    let rounds = 5;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    println!("# query_seq_vs_par ({cores} cores, {n_queries} queries/round, best of {rounds})");
+    println!("{:<10} {:>14} {:>14} {:>9}", "items", "seq_ms/query", "par_ms/query", "speedup");
+    for n in [10_000usize, 500_000] {
+        let mut gen = DataGen::new(&schema, 11, 1.5);
+        let items = gen.items(n);
+        let sample = &items[..items.len().min(10_000)];
+        let mut qg = QueryGen::new(&schema, 13, 0.65);
+        let queries: Vec<_> = (0..n_queries).map(|_| qg.query(sample)).collect();
+        let tree: ConcurrentTree<Mds> = ConcurrentTree::new(
+            schema.clone(),
+            InsertPolicy::Hilbert { expand: true },
+            TreeConfig::default(),
+        );
+        bulk_load(&tree, items);
+        let (mut seq_ms, mut par_ms) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..rounds {
+            let (seq_total, s) = run_batch(&tree, &queries, false);
+            let (par_total, p) = run_batch(&tree, &queries, true);
+            assert_eq!(seq_total, par_total, "parallel result diverged");
+            seq_ms = seq_ms.min(s);
+            par_ms = par_ms.min(p);
+        }
+        println!("{n:<10} {seq_ms:>14.4} {par_ms:>14.4} {:>8.2}x", seq_ms / par_ms);
+        rows.push(Row { items: n, seq_ms, par_ms });
+    }
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"query_seq_vs_par\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"queries_per_round\": {n_queries},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"items\": {}, \"seq_ms_per_query\": {:.4}, \"par_ms_per_query\": {:.4}, \"speedup\": {:.3}}}{}\n",
+            r.items,
+            r.seq_ms,
+            r.par_ms,
+            r.seq_ms / r.par_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_query.json", &json).expect("write BENCH_query.json");
+    println!("wrote BENCH_query.json");
+}

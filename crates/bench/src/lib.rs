@@ -85,7 +85,9 @@ pub fn drive(cluster: &Cluster, sessions: usize, ops: &[Op]) -> DriveResult {
     let cursor = AtomicUsize::new(0);
     let cursor = &cursor;
     let start = Instant::now();
-    let results: Vec<(Vec<f64>, Vec<f64>, Vec<u32>, Aggregate)> = std::thread::scope(|s| {
+    // (insert latencies, query latencies, shards-searched counts, query total)
+    type SessionResult = (Vec<f64>, Vec<f64>, Vec<u32>, Aggregate);
+    let results: Vec<SessionResult> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..sessions.max(1))
             .map(|_| {
                 let client = cluster.client();

@@ -30,6 +30,11 @@ pub struct VolapConfig {
     pub server_threads: usize,
     /// Service threads per worker (`k`).
     pub worker_threads: usize,
+    /// Threads in each worker's query pool: a multi-shard query fans its
+    /// local shard scans out over this pool instead of walking them one
+    /// after another. `1` disables the pool (fully sequential scans);
+    /// `0` sizes it to the machine's available parallelism.
+    pub query_threads: usize,
     /// How often servers push local-image changes to the global image and
     /// apply remote changes (paper default: 3 s).
     pub sync_period: Duration,
@@ -67,6 +72,7 @@ impl VolapConfig {
             workers: 4,
             server_threads: 2,
             worker_threads: 2,
+            query_threads: 2,
             sync_period: Duration::from_millis(100),
             stats_period: Duration::from_millis(50),
             manager_period: Duration::from_millis(100),

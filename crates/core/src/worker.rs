@@ -8,13 +8,13 @@
 //! After a split the entry becomes an alias routing old-ID traffic to the
 //! two halves; after a migration it forwards to the destination worker.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
 use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
@@ -46,6 +46,9 @@ struct WorkerState {
     endpoint: Endpoint,
     image: ImageStore,
     slots: RwLock<HashMap<u64, Arc<Slot>>>,
+    /// Pool for fanning one query's local shard scans out in parallel
+    /// (`None` when `cfg.query_threads == 1`).
+    query_pool: Option<rayon::ThreadPool>,
 }
 
 /// Handle to a running worker: name plus the machinery to stop it.
@@ -76,6 +79,14 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
     let session_ttl = (cfg.stats_period * 10).max(Duration::from_millis(500));
     let session = image.coord().open_session(session_ttl);
     image.add_worker_ephemeral(name, session);
+    let query_pool = (cfg.query_threads != 1).then(|| {
+        let prefix = format!("{name}-query");
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.query_threads)
+            .thread_name(move |i| format!("{prefix}{i}"))
+            .build()
+            .expect("build worker query pool")
+    });
     let state = Arc::new(WorkerState {
         name: name.to_string(),
         schema: cfg.schema.clone(),
@@ -83,6 +94,7 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         endpoint: endpoint.clone(),
         image: image.clone(),
         slots: RwLock::new(HashMap::new()),
+        query_pool,
     });
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -257,14 +269,41 @@ fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Res
     Response::Ack
 }
 
+/// One local store (plus its in-flight insertion queue, if splitting or
+/// migrating) that a query must scan.
+struct ScanTarget {
+    store: Arc<dyn ShardStore>,
+    queue: Option<Arc<dyn ShardStore>>,
+}
+
+impl ScanTarget {
+    fn query(&self, q: &QueryBox) -> Aggregate {
+        let mut agg = self.store.query(q);
+        if let Some(queue) = &self.queue {
+            // The insertion queue is "queried along with the shard
+            // itself" (§III-E).
+            agg.merge(&queue.query(q));
+        }
+        agg
+    }
+}
+
 fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Response {
-    let mut agg = Aggregate::empty();
-    let mut searched: u32 = 0;
+    // Phase 1: chase aliases sequentially (cheap pointer work) to resolve
+    // the local stores to scan and the per-destination remote batches.
+    let mut scans: Vec<ScanTarget> = Vec::new();
     // Forwards accumulated per destination to batch remote shards.
     let mut remote: HashMap<String, Vec<u64>> = HashMap::new();
     let mut pending: Vec<u64> = shards.to_vec();
+    // A server image transiently lists both a split parent and its halves
+    // (halves are published before the parent is retired), so the request
+    // may name a shard the alias chase also reaches. Scan each id once.
+    let mut seen: HashSet<u64> = HashSet::new();
     let mut hops = 0;
     while let Some(id) = pending.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
         hops += 1;
         if hops > 10_000 {
             return Response::Err("query alias expansion too deep".into());
@@ -276,15 +315,13 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
         let guard = slot.state.read();
         match &*guard {
             SlotState::Active { store } => {
-                agg.merge(&store.query(query));
-                searched += 1;
+                scans.push(ScanTarget { store: Arc::clone(store), queue: None });
             }
             SlotState::Busy { store, queue } => {
-                // The insertion queue is "queried along with the shard
-                // itself" (§III-E).
-                agg.merge(&store.query(query));
-                agg.merge(&queue.query(query));
-                searched += 1;
+                scans.push(ScanTarget {
+                    store: Arc::clone(store),
+                    queue: Some(Arc::clone(queue)),
+                });
             }
             SlotState::SplitInto { left, right, .. } => {
                 pending.push(*left);
@@ -295,6 +332,32 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
             }
         }
     }
+    // Phase 2: scan the resolved stores — in parallel over the worker's
+    // query pool when there is one and more than one shard to search. Each
+    // task aggregates privately and merges once at the end.
+    let mut searched = scans.len() as u32;
+    let mut agg = match &st.query_pool {
+        Some(pool) if scans.len() > 1 => {
+            let out = Mutex::new(Aggregate::empty());
+            pool.scope(|s| {
+                let out = &out;
+                for t in &scans {
+                    s.spawn(move |_| {
+                        let a = t.query(query);
+                        out.lock().merge(&a);
+                    });
+                }
+            });
+            out.into_inner()
+        }
+        _ => {
+            let mut a = Aggregate::empty();
+            for t in &scans {
+                a.merge(&t.query(query));
+            }
+            a
+        }
+    };
     for (dest, ids) in remote {
         match forward(st, &dest, &Request::Query { shards: ids, query: query.clone() }) {
             Response::Agg { agg: a, shards_searched } => {
@@ -314,6 +377,26 @@ fn forward(st: &Arc<WorkerState>, dest: &str, req: &Request) -> Response {
             .unwrap_or_else(|e| Response::Err(format!("bad forwarded response: {e}"))),
         Err(e) => Response::Err(format!("forward to {dest} failed: {e}")),
     }
+}
+
+/// Fold an insertion queue back into its shard after an aborted split or
+/// migration. Builds a fresh store instead of inserting into `store` in
+/// place: an in-flight query may have captured the `(store, queue)` pair
+/// and would count the queued items twice if they moved into `store`.
+fn revert_merge(
+    st: &WorkerState,
+    store: &Arc<dyn ShardStore>,
+    queue: &Arc<dyn ShardStore>,
+) -> Arc<dyn ShardStore> {
+    let queued = queue.items();
+    if queued.is_empty() {
+        return Arc::clone(store);
+    }
+    let mut items = store.items();
+    items.extend(queued);
+    let merged: Arc<dyn ShardStore> = build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+    merged.bulk_insert(items);
+    merged
 }
 
 /// Split a shard in place (manager-initiated). The shard keeps serving
@@ -338,16 +421,11 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
         }
     };
     let Some(plan) = store.split_query() else {
-        // Un-splittable (identical items): revert.
+        // Un-splittable (identical items): revert, preserving anything that
+        // entered the queue meanwhile.
         let mut guard = slot.state.write();
         if let SlotState::Busy { store, queue } = &*guard {
-            // Preserve anything that entered the queue meanwhile.
-            let queued = queue.items();
-            let store = Arc::clone(store);
-            for it in &queued {
-                store.insert(it);
-            }
-            *guard = SlotState::Active { store };
+            *guard = SlotState::Active { store: revert_merge(st, store, queue) };
         }
         return Response::Err(format!("shard {shard} cannot be split"));
     };
@@ -413,12 +491,7 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
             // Revert: fold the queue back in.
             let mut guard = slot.state.write();
             if let SlotState::Busy { store, queue } = &*guard {
-                let queued = queue.items();
-                let store = Arc::clone(store);
-                for it in &queued {
-                    store.insert(it);
-                }
-                *guard = SlotState::Active { store };
+                *guard = SlotState::Active { store: revert_merge(st, store, queue) };
             }
             return Response::Err(format!("adopt failed: {e}"));
         }

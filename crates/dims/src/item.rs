@@ -86,8 +86,8 @@ mod tests {
         let item = Item::from_paths(&s, &paths, 19.99);
         assert_eq!(item.dims(), 8);
         assert!(item.validate(&s));
-        for d in 0..8 {
-            assert_eq!(item.path(&s, d).components, paths[d]);
+        for (d, path) in paths.iter().enumerate() {
+            assert_eq!(&item.path(&s, d).components, path);
         }
     }
 

@@ -143,7 +143,7 @@ impl BigIndex {
     /// Rebuild from raw parts (used by shard deserialization).
     pub fn from_raw(limbs: Vec<u64>, bit_len: u32) -> Self {
         assert_eq!(limbs.len(), bit_len.div_ceil(64) as usize, "limb count mismatch");
-        if bit_len % 64 != 0 {
+        if !bit_len.is_multiple_of(64) {
             if let Some(last) = limbs.last() {
                 let pad = 64 - bit_len % 64;
                 assert_eq!(last & ((1u64 << pad) - 1), 0, "padding bits must be zero");

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod array;
+pub(crate) mod leaf;
 pub mod serial;
 pub mod split;
 pub mod store;
@@ -50,4 +51,4 @@ pub mod tree;
 pub use array::ArrayStore;
 pub use split::SplitPlan;
 pub use store::{build_store, deserialize_store, ShardStore, StoreKind, StoreStats};
-pub use tree::{ConcurrentTree, InsertPolicy, QueryTrace, TreeConfig};
+pub use tree::{ConcurrentTree, InsertPolicy, QueryTrace, TreeConfig, DEFAULT_PAR_CUTOFF};

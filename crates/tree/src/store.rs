@@ -135,6 +135,12 @@ pub trait ShardStore: Send + Sync {
     }
     /// Aggregate with traversal statistics.
     fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace);
+    /// Aggregate everything inside `q` using intra-shard parallelism where
+    /// the store supports it (tree stores fan large subtrees out over the
+    /// global rayon pool). Defaults to the sequential path.
+    fn query_par(&self, q: &QueryBox) -> Aggregate {
+        self.query(q)
+    }
     /// Item count.
     fn len(&self) -> u64;
     /// Whether the store is empty.
@@ -223,6 +229,9 @@ impl<K: Key> ShardStore for TreeShard<K> {
     }
     fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {
         self.tree.query_traced(q)
+    }
+    fn query_par(&self, q: &QueryBox) -> Aggregate {
+        self.tree.query_par(q)
     }
     fn len(&self) -> u64 {
         self.tree.len()
@@ -377,7 +386,7 @@ mod tests {
             let plan = store.split_query().expect("split must be possible");
             let (l, r) = store.split(&plan);
             assert_eq!(l.len() + r.len(), store.len(), "{kind}");
-            assert!(l.len() > 0 && r.len() > 0, "{kind}");
+            assert!(!l.is_empty() && !r.is_empty(), "{kind}");
             for it in l.items() {
                 assert!(!plan.side(&it));
             }

@@ -3,9 +3,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use volap_dims::{Aggregate, HilbertMapper, Item, Key, Mbr, QueryBox, Schema};
 use volap_hilbert::BigIndex;
+
+use crate::leaf::LeafColumns;
 
 /// Sizing and fill parameters shared by all tree variants.
 #[derive(Debug, Clone)]
@@ -87,7 +89,7 @@ impl<K: Key> Clone for DirEntry<K> {
 
 pub(crate) enum NodeChildren<K> {
     Dir(Vec<DirEntry<K>>),
-    Leaf(Vec<Entry>),
+    Leaf(LeafColumns),
 }
 
 pub(crate) struct NodeInner<K> {
@@ -100,7 +102,7 @@ pub(crate) struct NodeInner<K> {
 /// (at most parent + child held); queries take read locks one at a time.
 pub(crate) type Node<K> = RwLock<NodeInner<K>>;
 
-pub(crate) fn new_leaf<K: Key>(entries: Vec<Entry>, agg: Aggregate) -> Arc<Node<K>> {
+pub(crate) fn new_leaf<K: Key>(entries: LeafColumns, agg: Aggregate) -> Arc<Node<K>> {
     Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Leaf(entries) }))
 }
 
@@ -121,6 +123,24 @@ pub struct QueryTrace {
     pub pruned: u64,
 }
 
+impl QueryTrace {
+    /// Combine counters from another (partial) traversal. All four fields
+    /// are order-independent sums, so parallel per-task traces merge into
+    /// exactly the trace a sequential traversal of the same tree produces.
+    pub fn merge(&mut self, other: &QueryTrace) {
+        self.nodes_visited += other.nodes_visited;
+        self.covered_hits += other.covered_hits;
+        self.items_scanned += other.items_scanned;
+        self.pruned += other.pruned;
+    }
+}
+
+/// Default subtree size (cached item count) above which [`ConcurrentTree::query_par`]
+/// forks a directory child into its own task. Subtrees below the cutoff are
+/// walked inline by whichever task reaches them, so small trees never pay
+/// task-spawn overhead.
+pub const DEFAULT_PAR_CUTOFF: u64 = 8192;
+
 /// A concurrent multi-dimensional aggregate index with cached per-node
 /// aggregates: the PDC-tree family member selected by the key type `K` and
 /// the [`InsertPolicy`].
@@ -131,6 +151,10 @@ pub struct ConcurrentTree<K: Key> {
     mapper: Option<HilbertMapper>,
     root: RwLock<Arc<Node<K>>>,
     len: AtomicU64,
+    /// Recycled traversal stacks for the sequential query path, so steady-
+    /// state queries allocate nothing (one stack replaces the per-directory
+    /// `Vec` the recursive walk used to build).
+    stack_pool: Mutex<Vec<Vec<Arc<Node<K>>>>>,
 }
 
 impl<K: Key> ConcurrentTree<K> {
@@ -143,12 +167,13 @@ impl<K: Key> ConcurrentTree<K> {
             InsertPolicy::Hilbert { expand } => Some(HilbertMapper::new(&schema, expand)),
         };
         Self {
-            root: RwLock::new(new_leaf(Vec::new(), Aggregate::empty())),
+            root: RwLock::new(new_leaf(LeafColumns::new(schema.dims()), Aggregate::empty())),
             schema,
             cfg,
             policy,
             mapper,
             len: AtomicU64::new(0),
+            stack_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -209,8 +234,7 @@ impl<K: Key> ConcurrentTree<K> {
                     NodeChildren::Leaf(entries) => {
                         match &entry.hkey {
                             Some(h) => {
-                                let pos = entries
-                                    .partition_point(|e| e.hkey.as_ref().is_some_and(|k| k <= h));
+                                let pos = entries.hkey_partition_point(h);
                                 entries.insert(pos, entry);
                             }
                             None => entries.push(entry),
@@ -275,7 +299,7 @@ impl<K: Key> ConcurrentTree<K> {
     fn split_node(&self, inner: &NodeInner<K>) -> (DirEntry<K>, DirEntry<K>) {
         match &inner.children {
             NodeChildren::Leaf(entries) => {
-                let mut sorted: Vec<Entry> = entries.clone();
+                let mut sorted: Vec<Entry> = entries.to_entries();
                 if self.mapper.is_none() {
                     sort_entries_geometric(&self.schema, &mut sorted);
                 }
@@ -314,7 +338,7 @@ impl<K: Key> ConcurrentTree<K> {
                 }
             }
         }
-        DirEntry { key, lhv, node: new_leaf(entries, agg) }
+        DirEntry { key, lhv, node: new_leaf(LeafColumns::from_entries(self.schema.dims(), entries), agg) }
     }
 
     pub(crate) fn make_dir_slot(&self, entries: Vec<DirEntry<K>>) -> DirEntry<K> {
@@ -430,33 +454,44 @@ impl<K: Key> ConcurrentTree<K> {
     }
 
     /// Aggregate with traversal statistics.
+    ///
+    /// Single-threaded: walks the tree with an explicit stack recycled
+    /// across calls, so the steady state performs no allocation at all.
     pub fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {
         debug_assert_eq!(q.dims(), self.schema.dims());
         let mut agg = Aggregate::empty();
         let mut trace = QueryTrace::default();
-        let root = Arc::clone(&self.root.read());
-        self.query_node(&root, q, &mut agg, &mut trace);
+        let mut stack = self.stack_pool.lock().pop().unwrap_or_default();
+        stack.push(Arc::clone(&self.root.read()));
+        while let Some(node) = stack.pop() {
+            self.visit_node(&node, q, &mut agg, &mut trace, &mut stack);
+        }
+        let mut pool = self.stack_pool.lock();
+        if pool.len() < 8 {
+            pool.push(stack);
+        }
         (agg, trace)
     }
 
-    fn query_node(&self, node: &Arc<Node<K>>, q: &QueryBox, agg: &mut Aggregate, trace: &mut QueryTrace) {
+    /// Process one node: scan it if a leaf, otherwise prune / consume cached
+    /// aggregates and push the children that still need a visit onto
+    /// `descend`. Shared by the sequential and parallel query paths.
+    fn visit_node(
+        &self,
+        node: &Arc<Node<K>>,
+        q: &QueryBox,
+        agg: &mut Aggregate,
+        trace: &mut QueryTrace,
+        descend: &mut Vec<Arc<Node<K>>>,
+    ) {
         trace.nodes_visited += 1;
         let guard = node.read();
         match &guard.children {
             NodeChildren::Leaf(entries) => {
                 trace.items_scanned += entries.len() as u64;
-                for e in entries {
-                    if e.coords
-                        .iter()
-                        .zip(q.ranges.iter())
-                        .all(|(&c, &(lo, hi))| lo <= c && c <= hi)
-                    {
-                        agg.add(e.measure);
-                    }
-                }
+                entries.scan(q, agg);
             }
             NodeChildren::Dir(entries) => {
-                let mut descend: Vec<Arc<Node<K>>> = Vec::new();
                 for e in entries {
                     if !e.key.overlaps_query(q) {
                         trace.pruned += 1;
@@ -468,12 +503,87 @@ impl<K: Key> ConcurrentTree<K> {
                         descend.push(Arc::clone(&e.node));
                     }
                 }
-                drop(guard);
-                for child in descend {
-                    self.query_node(&child, q, agg, trace);
+            }
+        }
+    }
+
+    /// Aggregate every item inside `q`, fanning large subtrees out over the
+    /// global rayon pool. Equivalent to [`ConcurrentTree::query`].
+    pub fn query_par(&self, q: &QueryBox) -> Aggregate {
+        self.query_par_traced(q).0
+    }
+
+    /// Parallel query with traversal statistics (see
+    /// [`ConcurrentTree::query_par_with`]; uses [`DEFAULT_PAR_CUTOFF`]).
+    pub fn query_par_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {
+        self.query_par_with(q, DEFAULT_PAR_CUTOFF)
+    }
+
+    /// Parallel query with an explicit task-size cutoff: while walking, any
+    /// directory child that must be descended and whose cached aggregate
+    /// counts at least `cutoff` items is spawned as its own task; smaller
+    /// subtrees are walked inline. Each task accumulates into a private
+    /// `(Aggregate, QueryTrace)` and merges it into the shared result once,
+    /// when the task ends — one lock acquisition per task instead of
+    /// contention on every leaf.
+    ///
+    /// Trees smaller than `2 * cutoff` take the sequential path outright, so
+    /// small trees pay no scope-setup overhead.
+    pub fn query_par_with(&self, q: &QueryBox, cutoff: u64) -> (Aggregate, QueryTrace) {
+        debug_assert_eq!(q.dims(), self.schema.dims());
+        let cutoff = cutoff.max(1);
+        if self.len() < cutoff.saturating_mul(2) {
+            return self.query_traced(q);
+        }
+        let root = Arc::clone(&self.root.read());
+        let out = Mutex::new((Aggregate::empty(), QueryTrace::default()));
+        rayon::scope(|s| self.par_task(s, root, q, cutoff, &out));
+        out.into_inner()
+    }
+
+    /// One parallel-query task: walk `node`'s subtree inline, forking
+    /// children above the cutoff onto the rayon scope.
+    fn par_task<'s>(
+        &'s self,
+        s: &rayon::Scope<'s>,
+        node: Arc<Node<K>>,
+        q: &'s QueryBox,
+        cutoff: u64,
+        out: &'s Mutex<(Aggregate, QueryTrace)>,
+    ) {
+        let mut agg = Aggregate::empty();
+        let mut trace = QueryTrace::default();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            trace.nodes_visited += 1;
+            let guard = n.read();
+            match &guard.children {
+                NodeChildren::Leaf(entries) => {
+                    trace.items_scanned += entries.len() as u64;
+                    entries.scan(q, &mut agg);
+                }
+                NodeChildren::Dir(entries) => {
+                    for e in entries {
+                        if !e.key.overlaps_query(q) {
+                            trace.pruned += 1;
+                        } else if self.cfg.aggregate_cache && e.key.covered_by_query(q) {
+                            trace.covered_hits += 1;
+                            agg.merge(&e.node.read().agg);
+                        } else {
+                            let child = Arc::clone(&e.node);
+                            if child.read().agg.count >= cutoff {
+                                s.spawn(move |s| self.par_task(s, child, q, cutoff, out));
+                            } else {
+                                stack.push(child);
+                            }
+                        }
+                    }
                 }
             }
         }
+        let mut merged = out.lock();
+        merged.0.merge(&agg);
+        merged.1.merge(&trace);
     }
 
     /// Bounding rectangle of the whole tree.
@@ -483,8 +593,8 @@ impl<K: Key> ConcurrentTree<K> {
         match &guard.children {
             NodeChildren::Leaf(entries) => {
                 let mut m = Mbr::empty_with_dims(self.schema.dims());
-                for e in entries {
-                    m.extend_item(&self.schema, &e.to_item());
+                for i in 0..entries.len() {
+                    m.extend_item(&self.schema, &entries.item(i));
                 }
                 m
             }
@@ -515,7 +625,7 @@ impl<K: Key> ConcurrentTree<K> {
         let guard = node.read();
         match &guard.children {
             NodeChildren::Leaf(entries) => {
-                out.extend(entries.iter().map(Entry::to_item));
+                entries.append_items(out);
             }
             NodeChildren::Dir(entries) => {
                 let children: Vec<_> = entries.iter().map(|e| Arc::clone(&e.node)).collect();
@@ -828,7 +938,8 @@ mod tests {
             let g = node.read();
             match &g.children {
                 NodeChildren::Leaf(entries) => {
-                    let keys: Vec<_> = entries.iter().map(|e| e.hkey.clone().unwrap()).collect();
+                    let keys: Vec<_> =
+                        (0..entries.len()).map(|i| entries.hkey(i).cloned().unwrap()).collect();
                     for w in keys.windows(2) {
                         assert!(w[0] <= w[1], "leaf entries out of Hilbert order");
                     }

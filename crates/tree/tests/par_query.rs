@@ -1,0 +1,183 @@
+//! Equivalence and concurrency tests for the parallel query path
+//! (`query_par` / `query_par_with`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use volap_dims::{Aggregate, Item, Mbr, Mds, QueryBox, Schema};
+use volap_tree::{ConcurrentTree, InsertPolicy, TreeConfig};
+
+fn cfg(aggregate_cache: bool) -> TreeConfig {
+    TreeConfig { leaf_cap: 8, dir_cap: 4, aggregate_cache, ..TreeConfig::default() }
+}
+
+fn brute(items: &[Item], q: &QueryBox) -> Aggregate {
+    let mut agg = Aggregate::empty();
+    for it in items.iter().filter(|it| q.contains_item(it)) {
+        agg.add(it.measure);
+    }
+    agg
+}
+
+/// Count and min/max must match exactly; sums may differ by float merge
+/// order under the parallel path.
+fn assert_agg_eq(name: &str, got: &Aggregate, expect: &Aggregate) {
+    assert_eq!(got.count, expect.count, "{name}: count mismatch");
+    assert!(
+        (got.sum - expect.sum).abs() < 1e-6,
+        "{name}: sum mismatch ({} vs {})",
+        got.sum,
+        expect.sum
+    );
+    if expect.count > 0 {
+        assert_eq!(got.min, expect.min, "{name}: min mismatch");
+        assert_eq!(got.max, expect.max, "{name}: max mismatch");
+    }
+}
+
+fn lcg_items(schema: &Schema, n: u64, seed: u64) -> Vec<Item> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    (0..n)
+        .map(|i| {
+            let coords: Vec<u64> = (0..schema.dims())
+                .map(|d| next() % schema.dim(d).ordinal_end())
+                .collect();
+            Item::new(coords, (i % 97) as f64)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `query_par` == `query` == brute force over random items and boxes,
+    /// across both insert policies, both key types, and `aggregate_cache`
+    /// on/off; traces must match the sequential walk exactly.
+    #[test]
+    fn par_query_matches_sequential_and_brute_force(
+        (rows, boxes) in (
+            prop::collection::vec((0u64..64, 0u64..64, 0u64..64, 0u64..100), 1..250),
+            prop::collection::vec(
+                (0u64..64, 0u64..64, 0u64..64, 0u64..64, 0u64..64, 0u64..64),
+                1..5,
+            ),
+        )
+    ) {
+        let schema = Schema::uniform(3, 2, 8);
+        let items: Vec<Item> = rows
+            .iter()
+            .map(|&(a, b, c, m)| Item::new(vec![a, b, c], m as f64))
+            .collect();
+        let queries: Vec<QueryBox> = boxes
+            .iter()
+            .map(|&(a0, b0, a1, b1, a2, b2)| {
+                QueryBox::from_ranges(vec![
+                    (a0.min(b0), a0.max(b0)),
+                    (a1.min(b1), a1.max(b1)),
+                    (a2.min(b2), a2.max(b2)),
+                ])
+            })
+            .chain(std::iter::once(QueryBox::all(&schema)))
+            .collect();
+        for policy in [InsertPolicy::Geometric, InsertPolicy::Hilbert { expand: true }] {
+            for cache in [true, false] {
+                let mds: ConcurrentTree<Mds> =
+                    ConcurrentTree::new(schema.clone(), policy, cfg(cache));
+                let mbr: ConcurrentTree<Mbr> =
+                    ConcurrentTree::new(schema.clone(), policy, cfg(cache));
+                for it in &items {
+                    mds.insert(it);
+                    mbr.insert(it);
+                }
+                for q in &queries {
+                    let expect = brute(&items, q);
+                    let (seq, seq_trace) = mds.query_traced(q);
+                    // Cutoff of 16 forces genuine task fan-out even on these
+                    // small trees.
+                    let (par, par_trace) = mds.query_par_with(q, 16);
+                    let name = format!("{policy:?} cache={cache}");
+                    assert_agg_eq(&format!("{name} seq-vs-brute"), &seq, &expect);
+                    assert_agg_eq(&format!("{name} par-vs-brute"), &par, &expect);
+                    prop_assert_eq!(seq_trace, par_trace);
+                    let (par_mbr, _) = mbr.query_par_with(q, 16);
+                    assert_agg_eq(&format!("{name} mbr-par-vs-brute"), &par_mbr, &expect);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn par_trace_equals_sequential_trace_on_static_tree() {
+    let schema = Schema::uniform(3, 2, 8);
+    for cache in [true, false] {
+        let tree: ConcurrentTree<Mds> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Hilbert { expand: true }, cfg(cache));
+        for it in lcg_items(&schema, 3000, 0xC0FFEE) {
+            tree.insert(&it);
+        }
+        for q in [
+            QueryBox::all(&schema),
+            QueryBox::from_ranges(vec![(0, 20), (0, 63), (0, 63)]),
+            QueryBox::from_ranges(vec![(10, 40), (5, 35), (0, 63)]),
+            QueryBox::from_ranges(vec![(63, 63), (63, 63), (63, 63)]),
+        ] {
+            let (seq, seq_trace) = tree.query_traced(&q);
+            let (par, par_trace) = tree.query_par_with(&q, 32);
+            assert_agg_eq(&format!("cache={cache}"), &par, &seq);
+            // Every counter is an order-independent sum over the same visit
+            // set, so the parallel trace is *equal*, not just close.
+            assert_eq!(seq_trace, par_trace, "cache={cache} trace mismatch for {q:?}");
+        }
+    }
+}
+
+#[test]
+fn par_queries_run_against_concurrent_inserts() {
+    let schema = Schema::uniform(3, 2, 8);
+    let tree: Arc<ConcurrentTree<Mds>> = Arc::new(ConcurrentTree::new(
+        schema.clone(),
+        InsertPolicy::Hilbert { expand: true },
+        cfg(true),
+    ));
+    let items = lcg_items(&schema, 6000, 0xFEED);
+    let n_threads = 3;
+    let chunk = items.len() / n_threads;
+    std::thread::scope(|s| {
+        for t in 0..n_threads {
+            let tree = Arc::clone(&tree);
+            let slice = items[t * chunk..(t + 1) * chunk].to_vec();
+            s.spawn(move || {
+                for it in slice {
+                    tree.insert(&it);
+                }
+            });
+        }
+        // Two reader threads issue parallel queries throughout the insert
+        // storm: totals must only ever grow, and nothing may deadlock.
+        for _ in 0..2 {
+            let tree = Arc::clone(&tree);
+            let q = QueryBox::all(&schema);
+            s.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..60 {
+                    let agg = tree.query_par_with(&q, 64).0;
+                    assert!(
+                        agg.count >= last,
+                        "total count went backwards: {} -> {}",
+                        last,
+                        agg.count
+                    );
+                    last = agg.count;
+                }
+            });
+        }
+    });
+    assert_eq!(tree.len(), (chunk * n_threads) as u64);
+    let total = tree.query_par(&QueryBox::all(&schema));
+    assert_eq!(total.count, (chunk * n_threads) as u64);
+}

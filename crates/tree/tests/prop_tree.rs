@@ -159,7 +159,7 @@ proptest! {
         store.bulk_insert(items.clone());
         if let Some(plan) = store.split_query() {
             let (l, r) = store.split(&plan);
-            prop_assert!(l.len() > 0 && r.len() > 0, "planned splits must be non-degenerate");
+            prop_assert!(!l.is_empty() && !r.is_empty(), "planned splits must be non-degenerate");
         } else {
             // Only identical items (or a singleton) may refuse to split.
             let all_same = items.windows(2).all(|w| w[0].coords == w[1].coords);

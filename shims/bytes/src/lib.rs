@@ -1,0 +1,268 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides the subset the workspace codecs use: the [`Buf`] / [`BufMut`]
+//! traits with big-endian fixed-width accessors (matching the real crate's
+//! network byte order), plus owned [`Bytes`] / [`BytesMut`] buffers. There is
+//! no zero-copy sharing here — `Bytes` is a plain owned buffer with a cursor —
+//! but the wire format produced and parsed is byte-identical to upstream.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor over a byte buffer, big-endian accessors.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    /// The unread portion of the buffer as a contiguous slice.
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice out of bounds");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write-side growable buffer, big-endian appenders.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Owned immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self::from_vec(data)
+    }
+}
+
+/// Owned growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_vec(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0x01020304);
+        buf.put_u64(0x0102030405060708);
+        buf.put_f64(1.5);
+        buf.put_slice(b"xyz");
+        // Big-endian layout matches the real bytes crate.
+        assert_eq!(&buf[1..3], &[0x01, 0x02]);
+
+        let mut rd: &[u8] = &buf;
+        assert_eq!(rd.get_u8(), 7);
+        assert_eq!(rd.get_u16(), 0x0102);
+        assert_eq!(rd.get_u32(), 0x01020304);
+        assert_eq!(rd.get_u64(), 0x0102030405060708);
+        assert_eq!(rd.get_f64(), 1.5);
+        let mut tail = [0u8; 3];
+        rd.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_cursor_and_slice_index() {
+        let mut bm = BytesMut::with_capacity(16);
+        bm.put_u64(42);
+        bm.put_u16(3);
+        let mut b = Bytes::copy_from_slice(&bm.to_vec());
+        assert_eq!(b.remaining(), 10);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u16(), 3);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn slice_indexing_after_advance() {
+        let data = [1u8, 2, 3, 4];
+        let mut rd: &[u8] = &data;
+        rd.advance(1);
+        assert_eq!(rd[..2].to_vec(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the API surface the workspace's
+//! `harness = false` bench targets use: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Throughput`], [`BenchmarkId`], [`Bencher::iter`] and [`black_box`].
+//!
+//! Instead of criterion's statistical machinery it runs an adaptive
+//! calibration pass followed by a fixed number of timed samples and prints
+//! mean / best per-iteration time (plus throughput when declared). Per-bench
+//! time budget defaults to ~300 ms; tune with `VOLAP_BENCH_MS`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("VOLAP_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Throughput declaration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let name = function_name.into();
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Timing driver passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    best: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, first calibrating how many iterations fit the per-bench
+    /// budget, then taking `samples` timed runs.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let budget = budget();
+        // Calibration: run until we have a per-iter estimate or spend 1/4 of
+        // the budget.
+        let calib_deadline = Instant::now() + budget / 4;
+        let mut calib_iters = 0u64;
+        let calib_start = Instant::now();
+        loop {
+            black_box(f());
+            calib_iters += 1;
+            if Instant::now() >= calib_deadline {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed() / (calib_iters as u32).max(1);
+
+        let samples = self.samples.max(2);
+        let sample_budget = (budget * 3 / 4) / samples as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000_000) as u64
+        };
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per = elapsed / iters_per_sample as u32;
+            best = best.min(per);
+            total += elapsed;
+        }
+        self.result = Some(Sample {
+            mean: total / (samples as u64 * iters_per_sample).max(1) as u32,
+            best,
+            iters: samples as u64 * iters_per_sample,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(group: &str, id: &str, throughput: Option<Throughput>, sample: Option<Sample>) {
+    let full = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match sample {
+        Some(s) => {
+            let rate = throughput
+                .map(|t| {
+                    let (n, unit) = match t {
+                        Throughput::Elements(n) => (n, "elem"),
+                        Throughput::Bytes(n) => (n, "B"),
+                    };
+                    let per_sec = n as f64 / s.mean.as_secs_f64();
+                    format!("  {per_sec:.0} {unit}/s")
+                })
+                .unwrap_or_default();
+            println!(
+                "bench {full:<40} mean {:>12}  best {:>12}  ({} iters){rate}",
+                fmt_duration(s.mean),
+                fmt_duration(s.best),
+                s.iters
+            );
+        }
+        None => println!("bench {full:<40} (no measurement recorded)"),
+    }
+}
+
+/// Group of related benchmarks sharing throughput / sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, self.throughput, b.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, self.throughput, b.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 20,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: 20,
+            result: None,
+        };
+        f(&mut b);
+        report("", &id.id, None, b.result);
+        self
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets; ignores CLI arguments
+/// (filters, `--bench`, ...) that cargo or users may pass.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness CLI args (e.g. `--bench`) for compatibility.
+            let _ = std::env::args().count();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("VOLAP_BENCH_MS", "20");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| black_box((0..100u64).sum::<u64>()));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+        assert!(ran);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("dims", 8).id, "dims/8");
+        assert_eq!(BenchmarkId::from_parameter("array").id, "array");
+    }
+}

@@ -104,7 +104,10 @@ fn splits_preserve_all_data() {
     let mut gen = DataGen::new(&schema, 31, 1.0);
     let items = gen.items(4_000);
     for it in &items {
-        client.insert(it).unwrap();
+        // Routing is eventually consistent while shards split underneath
+        // the insert stream: retry transient errors like a real client.
+        let ok = eventually(Duration::from_secs(5), || client.insert(it).is_ok());
+        assert!(ok, "insert kept failing during splits");
     }
     // Wait for the manager to finish splitting.
     assert!(

@@ -151,7 +151,7 @@ fn server_metrics_count_operations() {
     let exp = server.metrics.expansions.load(std::sync::atomic::Ordering::Relaxed);
     assert_eq!(ins, 25);
     assert_eq!(qs, 5);
-    assert!(exp >= 1 && exp <= 25, "some early inserts must expand the empty box");
+    assert!((1..=25).contains(&exp), "some early inserts must expand the empty box");
     assert!(server.metrics.expansion_prob() > 0.0);
     server.stop();
     worker.stop();

@@ -201,7 +201,7 @@ fn worker_stats_reflect_contents() {
             assert_eq!(shards.len(), 2);
             assert_eq!((shards[0].id, shards[0].len), (1, 40));
             assert_eq!((shards[1].id, shards[1].len), (2, 7));
-            assert!(!shards[0].mbr.ranges().is_none());
+            assert!(shards[0].mbr.ranges().is_some());
         }
         other => panic!("unexpected {other:?}"),
     }

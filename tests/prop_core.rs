@@ -64,11 +64,11 @@ proptest! {
         for (op, id, v) in ops {
             match op {
                 0 => {
-                    if !naive.contains_key(&id) {
+                    naive.entry(id).or_insert_with(|| {
                         let m = mbr(v[0], v[1], v[2], v[3]);
                         idx.add_shard(id, m.clone());
-                        naive.insert(id, m);
-                    }
+                        m
+                    });
                 }
                 1 => {
                     if naive.contains_key(&id) {
