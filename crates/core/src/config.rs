@@ -59,6 +59,17 @@ pub struct VolapConfig {
     pub net_latency: Option<Duration>,
     /// Directory fanout of the server routing index.
     pub index_dir_cap: usize,
+    /// Server-side ingest coalescing: `ClientInsert` traffic is buffered and
+    /// routed in per-shard batches of up to this many items. `1` disables
+    /// coalescing (every insert is routed and acknowledged individually —
+    /// today's behavior); larger values trade a bounded acknowledgement
+    /// delay ([`VolapConfig::ingest_flush_interval`]) for per-item routing,
+    /// locking, and request overhead amortized across the batch.
+    pub ingest_batch: usize,
+    /// Upper bound on how long a buffered `ClientInsert` may wait before a
+    /// partially filled ingest batch is flushed. Only meaningful when
+    /// `ingest_batch > 1`.
+    pub ingest_flush_interval: Duration,
 }
 
 impl VolapConfig {
@@ -84,6 +95,8 @@ impl VolapConfig {
             request_timeout: Duration::from_secs(10),
             net_latency: None,
             index_dir_cap: 8,
+            ingest_batch: 1,
+            ingest_flush_interval: Duration::from_millis(2),
         }
     }
 }

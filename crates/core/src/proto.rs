@@ -123,10 +123,24 @@ const R_SPLIT: u8 = 103;
 const R_WSTATS: u8 = 104;
 const R_ERR: u8 = 105;
 
+/// Exact wire size of one item (see `wire::put_item`).
+fn item_wire_len(dims: usize) -> usize {
+    2 + dims * 8 + 8
+}
+
 impl Request {
     /// Encode to bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(32);
+        // Bulk payloads dominate the ingest path; size them exactly up
+        // front so encoding a large batch never reallocates mid-stream.
+        let cap = match self {
+            Request::BulkInsert { items, .. } | Request::ClientBulkInsert { items } => {
+                13 + items.len() * items.first().map_or(0, |it| item_wire_len(it.coords.len()))
+            }
+            Request::Adopt { blob, .. } => 13 + blob.len(),
+            _ => 32,
+        };
+        let mut buf = Vec::with_capacity(cap);
         match self {
             Request::Insert { shard, item } => {
                 buf.put_u8(T_INSERT);

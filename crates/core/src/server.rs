@@ -59,6 +59,10 @@ struct ServerState {
     locations: RwLock<HashMap<u64, String>>,
     /// Locally observed box expansions awaiting the next sync push.
     dirty: Mutex<HashMap<u64, Mbr>>,
+    /// Buffered `ClientInsert`s awaiting a coalesced flush (only used when
+    /// `cfg.ingest_batch > 1`): each entry keeps its reply handle so the
+    /// client is acknowledged by its shard's bulk outcome.
+    ingest: Mutex<Vec<(Item, Incoming)>>,
     metrics: Arc<ServerMetrics>,
 }
 
@@ -96,6 +100,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         index: RwLock::new(ServerIndex::new(cfg.schema.clone(), cfg.index_dir_cap)),
         locations: RwLock::new(HashMap::new()),
         dirty: Mutex::new(HashMap::new()),
+        ingest: Mutex::new(Vec::new()),
         metrics: Arc::clone(&metrics),
     });
     // Watch before the initial load so no update can slip between them.
@@ -136,6 +141,27 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
                     }
                 })
                 .expect("spawn sync thread"),
+        );
+    }
+    // Ingest flusher: bounds how long a buffered client insert can wait for
+    // its batch to fill (service threads flush full batches inline).
+    if cfg.ingest_batch > 1 {
+        let st = Arc::clone(&state);
+        let stop = Arc::clone(&shutdown);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("{name}-ingest"))
+                .spawn(move || {
+                    while crate::util::sleep_unless_stopped(st.cfg.ingest_flush_interval, &stop) {
+                        let batch = std::mem::take(&mut *st.ingest.lock());
+                        flush_ingest(&st, batch);
+                    }
+                    // Final drain: no buffered client may be left unanswered
+                    // at shutdown.
+                    let batch = std::mem::take(&mut *st.ingest.lock());
+                    flush_ingest(&st, batch);
+                })
+                .expect("spawn ingest flush thread"),
         );
     }
     ServerHandle { name: name.to_string(), metrics, shutdown, threads }
@@ -205,8 +231,12 @@ fn handle(st: &Arc<ServerState>, msg: Incoming) {
     match req {
         Request::Ping => reply(&msg, Response::Ack),
         Request::ClientInsert { item } => {
-            let resp = route_insert(st, &item);
-            reply(&msg, resp);
+            if st.cfg.ingest_batch > 1 {
+                enqueue_ingest(st, item, msg);
+            } else {
+                let resp = route_insert(st, &item);
+                reply(&msg, resp);
+            }
         }
         Request::ClientBulkInsert { items } => {
             let resp = route_bulk_insert(st, items);
@@ -218,6 +248,17 @@ fn handle(st: &Arc<ServerState>, msg: Incoming) {
         }
         other => reply(&msg, Response::Err(format!("unsupported server request: {other:?}"))),
     }
+}
+
+/// Resolve a shard's worker from the local map, falling back to the global
+/// image (and caching the answer) when the local map is stale.
+fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
+    if let Some(d) = st.locations.read().get(&shard).filter(|d| !d.is_empty()).cloned() {
+        return Some(d);
+    }
+    let w = st.image.shard(shard).map(|r| r.worker).filter(|w| !w.is_empty())?;
+    st.locations.write().insert(shard, w.clone());
+    Some(w)
 }
 
 fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
@@ -232,16 +273,8 @@ fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
         let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
         entry.extend_item(&st.schema, item);
     }
-    let dest = match st.locations.read().get(&shard).filter(|d| !d.is_empty()).cloned() {
-        Some(d) => d,
-        // Stale local map: consult the global image directly.
-        None => match st.image.shard(shard).map(|r| r.worker).filter(|w| !w.is_empty()) {
-            Some(w) => {
-                st.locations.write().insert(shard, w.clone());
-                w
-            }
-            None => return Response::Err(format!("no location for shard {shard}")),
-        },
+    let Some(dest) = shard_location(st, shard) else {
+        return Response::Err(format!("no location for shard {shard}"));
     };
     match st.endpoint.request(
         &dest,
@@ -251,6 +284,78 @@ fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
         Ok(bytes) => Response::decode(&st.schema, &bytes)
             .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
         Err(e) => Response::Err(format!("insert to {dest} failed: {e}")),
+    }
+}
+
+/// Buffer one client insert for coalesced routing. A full buffer is flushed
+/// inline by whichever service thread fills it; partially filled buffers
+/// are bounded in latency by the flusher thread.
+fn enqueue_ingest(st: &Arc<ServerState>, item: Item, msg: Incoming) {
+    let full = {
+        let mut buf = st.ingest.lock();
+        buf.push((item, msg));
+        (buf.len() >= st.cfg.ingest_batch).then(|| std::mem::take(&mut *buf))
+    };
+    if let Some(batch) = full {
+        flush_ingest(st, batch);
+    }
+}
+
+/// Route a coalesced batch of client inserts: one pass under the index and
+/// dirty locks routes every item, then one `BulkInsert` per shard goes out
+/// (all in flight at once), and every buffered client is acknowledged
+/// according to its shard's outcome.
+fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
+    if batch.is_empty() {
+        return;
+    }
+    st.metrics.inserts.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
+    {
+        let mut index = st.index.write();
+        let mut dirty = st.dirty.lock();
+        for (item, msg) in batch {
+            let Some((shard, expanded)) = index.route_insert(&item) else {
+                reply(&msg, Response::Err("no shards available".into()));
+                continue;
+            };
+            if expanded {
+                st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+                let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+                entry.extend_item(&st.schema, &item);
+            }
+            let slot = by_shard.entry(shard).or_default();
+            slot.0.push(item);
+            slot.1.push(msg);
+        }
+    }
+    let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
+    let mut waiters: Vec<Vec<Incoming>> = Vec::with_capacity(by_shard.len());
+    for (shard, (items, msgs)) in by_shard {
+        let Some(dest) = shard_location(st, shard) else {
+            let err = Response::Err(format!("no location for shard {shard}"));
+            for m in &msgs {
+                reply(m, err.clone());
+            }
+            continue;
+        };
+        requests.push((dest, Request::BulkInsert { shard, items }.encode()));
+        waiters.push(msgs);
+    }
+    let replies = st.endpoint.request_many(&requests, st.cfg.request_timeout);
+    for ((result, (dest, _)), msgs) in replies.into_iter().zip(&requests).zip(waiters) {
+        let resp = match result {
+            Ok(bytes) => match Response::decode(&st.schema, &bytes) {
+                Ok(Response::Ack) => Response::Ack,
+                Ok(Response::Err(e)) => Response::Err(e),
+                Ok(other) => Response::Err(format!("unexpected bulk response: {other:?}")),
+                Err(e) => Response::Err(format!("bad bulk response: {e}")),
+            },
+            Err(e) => Response::Err(format!("bulk to {dest} failed: {e}")),
+        };
+        for m in msgs {
+            reply(&m, resp.clone());
+        }
     }
 }
 
@@ -279,13 +384,12 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
         }
     }
     // Phase 2: one bulk request per shard, all in flight at once.
-    let locations = st.locations.read().clone();
     let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
     for (shard, items) in by_shard {
-        let Some(dest) = locations.get(&shard).filter(|d| !d.is_empty()) else {
+        let Some(dest) = shard_location(st, shard) else {
             return Response::Err(format!("no location for shard {shard}"));
         };
-        requests.push((dest.clone(), Request::BulkInsert { shard, items }.encode()));
+        requests.push((dest, Request::BulkInsert { shard, items }.encode()));
     }
     for (reply, (dest, _)) in st
         .endpoint

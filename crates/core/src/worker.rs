@@ -244,26 +244,52 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
     Response::Err("alias chain too deep".into())
 }
 
+/// Insert a batch into a local shard, chasing aliases per shard *group*
+/// rather than per item: a group landing on an Active store (or a Busy
+/// shard's insertion queue) drains through the store's batch path in one
+/// call; a split alias partitions the group by its hyperplane into two
+/// child groups; a moved shard forwards its whole group as one
+/// `BulkInsert`.
 fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Response {
-    // Fast path: a single Active shard takes the whole batch.
-    {
-        let slots = st.slots.read();
-        if let Some(slot) = slots.get(&shard) {
-            let guard = slot.state.read();
-            if let SlotState::Active { store } = &*guard {
+    let mut work: Vec<(u64, Vec<Item>, u32)> = vec![(shard, items, 0)];
+    while let Some((id, group, depth)) = work.pop() {
+        if group.is_empty() {
+            continue;
+        }
+        if depth > 64 {
+            return Response::Err("alias chain too deep".into());
+        }
+        let slot = match st.slots.read().get(&id) {
+            Some(s) => Arc::clone(s),
+            None => return Response::Err(format!("unknown shard {id} on {}", st.name)),
+        };
+        let guard = slot.state.read();
+        match &*guard {
+            SlotState::Active { store } => {
                 let store = Arc::clone(store);
                 drop(guard);
-                drop(slots);
-                store.bulk_insert(items);
-                return Response::Ack;
+                store.bulk_insert(group);
             }
-        } else {
-            return Response::Err(format!("unknown shard {shard} on {}", st.name));
-        }
-    }
-    for item in &items {
-        if let Response::Err(e) = local_insert(st, shard, item, true) {
-            return Response::Err(e);
+            SlotState::Busy { queue, .. } => {
+                let queue = Arc::clone(queue);
+                drop(guard);
+                queue.bulk_insert(group);
+            }
+            SlotState::SplitInto { left, right, plan } => {
+                let (l, r): (Vec<Item>, Vec<Item>) =
+                    group.into_iter().partition(|it| !plan.side(it));
+                work.push((*left, l, depth + 1));
+                work.push((*right, r, depth + 1));
+            }
+            SlotState::MovedTo { dest } => {
+                let dest = dest.clone();
+                drop(guard);
+                if let Response::Err(e) =
+                    forward(st, &dest, &Request::BulkInsert { shard: id, items: group })
+                {
+                    return Response::Err(e);
+                }
+            }
         }
     }
     Response::Ack

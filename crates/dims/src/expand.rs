@@ -94,13 +94,48 @@ impl HilbertMapper {
 
     /// The compact Hilbert key of raw per-dimension ordinals.
     pub fn key_of_coords(&self, coords: &[u64]) -> BigIndex {
-        debug_assert_eq!(coords.len(), self.plan.len());
-        let expanded: Vec<u64> = coords
-            .iter()
-            .enumerate()
-            .map(|(d, &c)| self.expand_ordinal(d, c))
-            .collect();
-        self.curve.index(&expanded)
+        self.batch().key_of_coords(coords)
+    }
+
+    /// Start a batch key computation that reuses the level-expansion buffer
+    /// across items. Keys themselves are inline (no heap) for widths up to
+    /// 256 bits, so this makes the whole per-item key path allocation-free.
+    pub fn batch(&self) -> KeyBatch<'_> {
+        KeyBatch {
+            mapper: self,
+            expanded: Vec::with_capacity(self.plan.len()),
+        }
+    }
+}
+
+/// Reusable scratch for computing many Hilbert keys: the expanded-coordinate
+/// buffer is allocated once and shared by every [`KeyBatch::key`] call.
+#[derive(Debug)]
+pub struct KeyBatch<'a> {
+    mapper: &'a HilbertMapper,
+    expanded: Vec<u64>,
+}
+
+impl KeyBatch<'_> {
+    /// The compact Hilbert key of an item.
+    #[inline]
+    pub fn key(&mut self, item: &Item) -> BigIndex {
+        self.key_of_coords(&item.coords)
+    }
+
+    /// The compact Hilbert key of raw per-dimension ordinals.
+    pub fn key_of_coords(&mut self, coords: &[u64]) -> BigIndex {
+        debug_assert_eq!(coords.len(), self.mapper.plan.len());
+        self.expanded.clear();
+        self.expanded.extend(
+            coords
+                .iter()
+                .enumerate()
+                .map(|(d, &c)| self.mapper.expand_ordinal(d, c)),
+        );
+        let mut out = BigIndex::with_bit_capacity(self.mapper.curve.total_bits());
+        self.mapper.curve.index_into(&self.expanded, &mut out);
+        out
     }
 }
 
@@ -166,6 +201,23 @@ mod tests {
         let b = Item::new(vec![1, 2, 3, 4, 5, 6, 7, 9], 1.0);
         assert_eq!(m.key(&a), m.key(&a));
         assert_ne!(m.key(&a), m.key(&b));
+    }
+
+    #[test]
+    fn batch_keys_match_one_shot_keys() {
+        let schema = Schema::tpcds();
+        for expand in [true, false] {
+            let m = HilbertMapper::new(&schema, expand);
+            let mut batch = m.batch();
+            for i in 0..200u64 {
+                let coords: Vec<u64> = (0..schema.dims())
+                    .map(|d| (i * 7 + d as u64 * 13) % schema.dim(d).ordinal_end())
+                    .collect();
+                let item = Item::new(coords.clone(), i as f64);
+                assert_eq!(batch.key(&item), m.key(&item));
+                assert_eq!(batch.key_of_coords(&coords), m.key_of_coords(&coords));
+            }
+        }
     }
 
     /// Sibling subtrees at any level must map to disjoint Hilbert key ranges

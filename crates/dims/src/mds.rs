@@ -135,7 +135,7 @@ impl Key for Mds {
 
     fn extend_key(&mut self, schema: &Schema, other: &Self) {
         for d in 0..self.dims.len() {
-            for &(lo, hi) in other.dims[d].clone().iter() {
+            for &(lo, hi) in other.dims[d].iter() {
                 self.insert_range(schema, d, lo, hi);
             }
         }

@@ -5,9 +5,79 @@
 //! needs several hundred), but never exceed a few machine words. `BigIndex`
 //! stores the bits most-significant-first in `u64` limbs so that, for keys of
 //! equal bit width, lexicographic limb comparison equals numeric comparison.
+//!
+//! Storage is inline for up to [`INLINE_LIMBS`] limbs (256 bits — every
+//! realistic schema, including TPC-DS at ~130 bits), so the ingest hot path
+//! computes keys without touching the heap; wider indices spill to a `Vec`.
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Limbs stored inline before spilling to the heap.
+pub const INLINE_LIMBS: usize = 4;
+
+/// Limb storage: a fixed inline buffer for the common case, a heap vector
+/// beyond it. All accessors go through `as_slice`, so the two layouts are
+/// indistinguishable to the rest of the crate.
+#[derive(Clone)]
+enum Limbs {
+    Inline { buf: [u64; INLINE_LIMBS], len: u8 },
+    Heap(Vec<u64>),
+}
+
+impl Limbs {
+    #[inline]
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            Limbs::Inline { buf, len } => &buf[..*len as usize],
+            Limbs::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, limb: u64) {
+        match self {
+            Limbs::Inline { buf, len } => {
+                if (*len as usize) < INLINE_LIMBS {
+                    buf[*len as usize] = limb;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_LIMBS * 2);
+                    v.extend_from_slice(buf);
+                    v.push(limb);
+                    *self = Limbs::Heap(v);
+                }
+            }
+            Limbs::Heap(v) => v.push(limb),
+        }
+    }
+
+    #[inline]
+    fn last_mut(&mut self) -> Option<&mut u64> {
+        match self {
+            Limbs::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    Some(&mut buf[*len as usize - 1])
+                }
+            }
+            Limbs::Heap(v) => v.last_mut(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        self.as_slice()[i]
+    }
+}
+
+impl Default for Limbs {
+    fn default() -> Self {
+        Limbs::Inline { buf: [0; INLINE_LIMBS], len: 0 }
+    }
+}
 
 /// A fixed-width unsigned integer built by appending bit groups
 /// most-significant-first.
@@ -15,9 +85,9 @@ use std::fmt;
 /// Ordering: shorter bit widths compare *less* than longer ones; equal widths
 /// compare numerically. Within one VOLAP tree every key has the same width,
 /// so ordering is purely numeric there.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Default)]
 pub struct BigIndex {
-    limbs: Vec<u64>,
+    limbs: Limbs,
     bit_len: u32,
 }
 
@@ -28,20 +98,26 @@ impl BigIndex {
         Self::default()
     }
 
-    /// An empty index with capacity reserved for `bits` total bits.
+    /// An empty index with capacity reserved for `bits` total bits. Widths
+    /// up to `64 * INLINE_LIMBS` use the inline buffer and never allocate.
     pub fn with_bit_capacity(bits: u32) -> Self {
-        Self {
-            limbs: Vec::with_capacity(bits.div_ceil(64) as usize),
-            bit_len: 0,
+        let limb_count = bits.div_ceil(64) as usize;
+        if limb_count <= INLINE_LIMBS {
+            Self::new()
+        } else {
+            Self { limbs: Limbs::Heap(Vec::with_capacity(limb_count)), bit_len: 0 }
         }
     }
 
     /// The zero value of width `bits`.
     pub fn zero(bits: u32) -> Self {
-        Self {
-            limbs: vec![0; bits.div_ceil(64) as usize],
-            bit_len: bits,
-        }
+        let limb_count = bits.div_ceil(64) as usize;
+        let limbs = if limb_count <= INLINE_LIMBS {
+            Limbs::Inline { buf: [0; INLINE_LIMBS], len: limb_count as u8 }
+        } else {
+            Limbs::Heap(vec![0; limb_count])
+        };
+        Self { limbs, bit_len: bits }
     }
 
     /// The all-ones (maximum) value of width `bits`.
@@ -63,10 +139,24 @@ impl BigIndex {
     }
 
     /// Heap bytes used by the limb storage (for the paper's space-overhead
-    /// accounting).
+    /// accounting). Zero while the index fits the inline buffer.
     #[inline]
     pub fn heap_bytes(&self) -> usize {
-        self.limbs.capacity() * 8
+        match &self.limbs {
+            Limbs::Inline { .. } => 0,
+            Limbs::Heap(v) => v.capacity() * 8,
+        }
+    }
+
+    /// Reset to the empty (0-bit) index, keeping any heap capacity. Lets a
+    /// caller reuse one `BigIndex` as a scratch output across a batch.
+    #[inline]
+    pub fn clear(&mut self) {
+        match &mut self.limbs {
+            Limbs::Inline { len, .. } => *len = 0,
+            Limbs::Heap(v) => v.clear(),
+        }
+        self.bit_len = 0;
     }
 
     /// Append the low `nbits` bits of `value` below the current bits
@@ -123,13 +213,13 @@ impl BigIndex {
         let offset = start % 64;
         let avail = 64 - offset;
         if nbits <= avail {
-            let shifted = self.limbs[limb_idx] << offset;
+            let shifted = self.limbs.get(limb_idx) << offset;
             shifted >> (64 - nbits)
         } else {
             let hi_bits = avail;
             let lo_bits = nbits - avail;
-            let hi = (self.limbs[limb_idx] << offset) >> (64 - hi_bits);
-            let lo = self.limbs[limb_idx + 1] >> (64 - lo_bits);
+            let hi = (self.limbs.get(limb_idx) << offset) >> (64 - hi_bits);
+            let lo = self.limbs.get(limb_idx + 1) >> (64 - lo_bits);
             (hi << lo_bits) | lo
         }
     }
@@ -137,10 +227,11 @@ impl BigIndex {
     /// Raw limbs, most significant first. The final limb is left-aligned.
     #[inline]
     pub fn limbs(&self) -> &[u64] {
-        &self.limbs
+        self.limbs.as_slice()
     }
 
-    /// Rebuild from raw parts (used by shard deserialization).
+    /// Rebuild from raw parts (used by shard deserialization). Limb counts
+    /// within [`INLINE_LIMBS`] are copied into the inline buffer.
     pub fn from_raw(limbs: Vec<u64>, bit_len: u32) -> Self {
         assert_eq!(limbs.len(), bit_len.div_ceil(64) as usize, "limb count mismatch");
         if !bit_len.is_multiple_of(64) {
@@ -149,7 +240,29 @@ impl BigIndex {
                 assert_eq!(last & ((1u64 << pad) - 1), 0, "padding bits must be zero");
             }
         }
+        let limbs = if limbs.len() <= INLINE_LIMBS {
+            let mut buf = [0u64; INLINE_LIMBS];
+            buf[..limbs.len()].copy_from_slice(&limbs);
+            Limbs::Inline { buf, len: limbs.len() as u8 }
+        } else {
+            Limbs::Heap(limbs)
+        };
         Self { limbs, bit_len }
+    }
+}
+
+impl PartialEq for BigIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.bit_len == other.bit_len && self.limbs() == other.limbs()
+    }
+}
+
+impl Eq for BigIndex {}
+
+impl Hash for BigIndex {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.limbs().hash(state);
+        self.bit_len.hash(state);
     }
 }
 
@@ -157,7 +270,7 @@ impl Ord for BigIndex {
     fn cmp(&self, other: &Self) -> Ordering {
         self.bit_len
             .cmp(&other.bit_len)
-            .then_with(|| self.limbs.cmp(&other.limbs))
+            .then_with(|| self.limbs().cmp(other.limbs()))
     }
 }
 
@@ -170,7 +283,7 @@ impl PartialOrd for BigIndex {
 impl fmt::Debug for BigIndex {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "BigIndex[{}b:", self.bit_len)?;
-        for limb in &self.limbs {
+        for limb in self.limbs() {
             write!(f, " {limb:016x}")?;
         }
         write!(f, "]")
@@ -278,5 +391,76 @@ mod tests {
         b.push_bits(7, 3);
         b.push_bits(0, 0);
         assert_eq!(b.extract_bits(0, 3), 7);
+    }
+
+    #[test]
+    fn inline_storage_covers_256_bits() {
+        // TPC-DS keys (~130 bits) and anything up to 4 limbs must not
+        // allocate; the 5th limb spills to the heap.
+        let mut b = BigIndex::new();
+        for i in 0..4u64 {
+            b.push_bits(i, 64);
+            assert_eq!(b.heap_bytes(), 0, "{} bits should be inline", b.bit_len());
+        }
+        b.push_bits(1, 1);
+        assert!(b.heap_bytes() > 0, "5 limbs must spill to the heap");
+        assert_eq!(b.bit_len(), 257);
+        assert_eq!(b.extract_bits(64, 64), 1);
+        assert_eq!(b.extract_bits(256, 1), 1);
+    }
+
+    #[test]
+    fn spill_preserves_contents_across_boundary() {
+        // Push in odd-sized groups so the spill happens mid-group.
+        let mut b = BigIndex::new();
+        let mut total = 0u32;
+        let mut i = 0u64;
+        while total < 300 {
+            let n = 13 + (i % 7) as u32;
+            b.push_bits(i % (1 << n), n);
+            total += n;
+            i += 1;
+        }
+        assert_eq!(b.bit_len(), total);
+        // Re-extract everything and compare.
+        let mut total2 = 0u32;
+        let mut j = 0u64;
+        while total2 < 300 {
+            let n = 13 + (j % 7) as u32;
+            assert_eq!(b.extract_bits(total2, n), j % (1 << n));
+            total2 += n;
+            j += 1;
+        }
+    }
+
+    #[test]
+    fn clear_resets_and_allows_reuse() {
+        let mut b = BigIndex::new();
+        b.push_bits(0xFFFF, 16);
+        b.clear();
+        assert_eq!(b.bit_len(), 0);
+        b.push_bits(0xAB, 8);
+        assert_eq!(b.extract_bits(0, 8), 0xAB);
+        assert_eq!(b, BigIndex::from_raw(vec![0xABu64 << 56], 8));
+    }
+
+    #[test]
+    fn eq_and_ord_agree_across_storage_layouts() {
+        // The same value built inline and via from_raw must be equal, and a
+        // heap-spilled value must still order correctly.
+        let mut inline = BigIndex::new();
+        inline.push_bits(42, 64);
+        inline.push_bits(7, 64);
+        let raw = BigIndex::from_raw(vec![42, 7], 128);
+        assert_eq!(inline, raw);
+        let mut wide_lo = BigIndex::max_value(320);
+        let wide_hi = BigIndex::max_value(320);
+        assert!(wide_lo.heap_bytes() > 0);
+        assert_eq!(wide_lo, wide_hi);
+        wide_lo.clear();
+        for i in 0..5 {
+            wide_lo.push_bits(if i == 4 { 0 } else { u64::MAX }, 64);
+        }
+        assert!(wide_lo < wide_hi);
     }
 }

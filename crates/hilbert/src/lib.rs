@@ -127,6 +127,21 @@ impl HilbertCurve {
     /// Panics if `point.len() != self.dims()` or any coordinate exceeds its
     /// dimension's side length.
     pub fn index(&self, point: &[u64]) -> BigIndex {
+        let mut h = BigIndex::with_bit_capacity(self.total_bits);
+        self.index_into(point, &mut h);
+        h
+    }
+
+    /// Compute the compact Hilbert index of `point` into `out`, reusing its
+    /// storage. `out` is cleared first; on return it holds exactly
+    /// [`Self::total_bits`] bits. This is the allocation-free entry point for
+    /// batch key computation (the caller keeps one scratch `BigIndex` per
+    /// batch).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::index`].
+    pub fn index_into(&self, point: &[u64], out: &mut BigIndex) {
         assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
         for (j, (&p, &b)) in point.iter().zip(&self.bits).enumerate() {
             assert!(
@@ -135,7 +150,8 @@ impl HilbertCurve {
             );
         }
         let n = self.dims() as u32;
-        let mut h = BigIndex::with_bit_capacity(self.total_bits);
+        let h = out;
+        h.clear();
         // Orientation state of the current sub-hypercube: entry point `e` and
         // intra-cube direction `d`, per Hamilton's formulation.
         let mut e: u64 = 0;
@@ -158,7 +174,6 @@ impl HilbertCurve {
             d = (d + direction(w, n) + 1) % n;
         }
         debug_assert_eq!(h.bit_len(), self.total_bits);
-        h
     }
 
     /// Invert a compact Hilbert index back into its point.
@@ -370,6 +385,25 @@ mod tests {
         let h = curve.index(&p);
         assert_eq!(h.bit_len(), 140);
         assert_eq!(curve.point(&h), p);
+    }
+
+    #[test]
+    fn index_into_reuses_scratch() {
+        let curve = HilbertCurve::new(&[4, 2, 7]);
+        let mut scratch = BigIndex::new();
+        for p in [[3u64, 1, 100], [0, 0, 0], [15, 3, 127], [8, 2, 64]] {
+            curve.index_into(&p, &mut scratch);
+            assert_eq!(scratch, curve.index(&p));
+        }
+        // Wide curve: scratch spills once, then stays reusable.
+        let bits = vec![7u32; 20];
+        let wide = HilbertCurve::new(&bits);
+        let mut scratch = BigIndex::new();
+        for s in 0..4u64 {
+            let p: Vec<u64> = (0..20).map(|j| (j * 13 + s) % 128).collect();
+            wide.index_into(&p, &mut scratch);
+            assert_eq!(scratch, wide.index(&p));
+        }
     }
 
     #[test]

@@ -3,6 +3,38 @@
 use proptest::prelude::*;
 use volap_hilbert::{BigIndex, HilbertCurve};
 
+/// The pre-inline `Vec`-backed bit string: a straight re-implementation of
+/// `push_bits` over a plain `Vec<u64>`, kept as the reference model for the
+/// inline-storage representation.
+#[derive(Default, Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct VecModel {
+    // Field order matters: the derived `Ord` compares `bit_len` first, then
+    // limbs — the same shorter-width-sorts-first rule as `BigIndex`.
+    bit_len: u32,
+    limbs: Vec<u64>,
+}
+
+impl VecModel {
+    fn push_bits(&mut self, value: u64, nbits: u32) {
+        if nbits == 0 {
+            return;
+        }
+        let used = self.bit_len % 64;
+        let free = if used == 0 { 0 } else { 64 - used };
+        if free == 0 {
+            self.limbs
+                .push(if nbits == 64 { value } else { value << (64 - nbits) });
+        } else if nbits <= free {
+            *self.limbs.last_mut().unwrap() |= value << (free - nbits);
+        } else {
+            let hi = nbits - free;
+            *self.limbs.last_mut().unwrap() |= value >> hi;
+            self.limbs.push(value << (64 - hi));
+        }
+        self.bit_len += nbits;
+    }
+}
+
 /// Strategy: a small width vector whose total bits stay enumerable.
 fn small_widths() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(1u32..=4, 1..=4)
@@ -103,6 +135,37 @@ proptest! {
         // Raw round-trip.
         let r = BigIndex::from_raw(b.limbs().to_vec(), b.bit_len());
         prop_assert_eq!(r, b);
+    }
+
+    /// The inline-limb representation is observationally identical to the
+    /// `Vec` representation: same limbs, same width, same ordering — across
+    /// the inline→heap spill boundary (chunk counts up to 12 reach ~768
+    /// bits, well past the 4-limb inline buffer).
+    #[test]
+    fn inline_storage_matches_vec_model(
+        chunks_a in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 1..12),
+        chunks_b in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 1..12),
+    ) {
+        let build = |chunks: &[(u64, u32)]| {
+            let mut real = BigIndex::new();
+            let mut model = VecModel::default();
+            for &(v, bits) in chunks {
+                let v = if bits == 64 { v } else { v & ((1u64 << bits) - 1) };
+                real.push_bits(v, bits);
+                model.push_bits(v, bits);
+            }
+            (real, model)
+        };
+        let (ra, ma) = build(&chunks_a);
+        let (rb, mb) = build(&chunks_b);
+        prop_assert_eq!(ra.limbs(), &ma.limbs[..]);
+        prop_assert_eq!(ra.bit_len(), ma.bit_len);
+        prop_assert_eq!(ra.cmp(&rb), ma.cmp(&mb));
+        prop_assert_eq!(ra == rb, ma == mb);
+        // heap_bytes is zero exactly while the value fits the inline buffer.
+        prop_assert_eq!(ra.heap_bytes() == 0, ma.limbs.len() <= 4);
+        // from_raw on the model's limbs reproduces the real value.
+        prop_assert_eq!(BigIndex::from_raw(ma.limbs, ma.bit_len), ra);
     }
 
     /// BigIndex ordering at equal widths equals numeric ordering of the

@@ -287,9 +287,19 @@ impl Endpoint {
         let mut results: Vec<Result<Vec<u8>, NetError>> =
             (0..n).map(|_| Err(NetError::Timeout)).collect();
         let mut outstanding = 0usize;
+        // Reserve a contiguous correlation block and register every entry
+        // under a single pending-lock acquisition — one lock round per
+        // batch instead of one per request, so a wide scatter doesn't
+        // serialize against reply demultiplexing.
+        let base = self.core.next_corr.fetch_add(n as u64, Ordering::Relaxed);
+        {
+            let mut pending = self.core.pending.lock();
+            for off in 0..n as u64 {
+                pending.insert(base + off, tx.clone());
+            }
+        }
         for (i, (to, payload)) in requests.iter().enumerate() {
-            let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
-            self.core.pending.lock().insert(corr, tx.clone());
+            let corr = base + i as u64;
             let sent = self.net.route(
                 to,
                 Envelope {

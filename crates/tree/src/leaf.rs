@@ -75,10 +75,71 @@ impl LeafColumns {
         self.hkeys.partition_point(|k| k.as_ref().is_some_and(|k| k <= h))
     }
 
-    /// Only structural test assertions look at individual hkeys.
-    #[cfg(test)]
+    /// Insert a run of items pre-sorted by Hilbert key (`keyed` pairs each
+    /// key with its index into `items`), equivalent to inserting them one by
+    /// one. The search for each insert position resumes after the previous
+    /// one, and keys falling between the same pair of existing rows are
+    /// spliced into each column in one contiguous group instead of one
+    /// element-shifting insert per row. Keys are moved out of `keyed`
+    /// (batch-insert leaves never recompute them).
+    ///
+    /// Only meaningful under a Hilbert policy: every existing row must
+    /// already carry a key.
+    pub fn insert_run(&mut self, items: &[Item], keyed: &mut [(BigIndex, u32)]) {
+        debug_assert!(keyed.windows(2).all(|w| w[0].0 <= w[1].0), "run must be sorted");
+        debug_assert!(self.hkeys.iter().all(|k| k.is_some()), "run insert into keyless leaf");
+        let mut pos = 0;
+        let mut i = 0;
+        while i < keyed.len() {
+            let h = &keyed[i].0;
+            pos += self.hkeys[pos..].partition_point(|k| k.as_ref().is_some_and(|k| k <= h));
+            // Everything strictly below the existing row at `pos` lands in
+            // this same gap (appending at the end takes the whole tail).
+            let group_end = match self.hkeys.get(pos).and_then(|k| k.as_ref()) {
+                None => keyed.len(),
+                Some(ex) => {
+                    let mut j = i + 1;
+                    while j < keyed.len() && keyed[j].0 < *ex {
+                        j += 1;
+                    }
+                    j
+                }
+            };
+            let group = i..group_end;
+            for (d, col) in self.cols.iter_mut().enumerate() {
+                col.splice(pos..pos, keyed[group.clone()].iter().map(|&(_, r)| items[r as usize].coords[d]));
+            }
+            self.measures
+                .splice(pos..pos, keyed[group.clone()].iter().map(|&(_, r)| items[r as usize].measure));
+            self.hkeys
+                .splice(pos..pos, keyed[group.clone()].iter_mut().map(|(k, _)| Some(std::mem::take(k))));
+            pos += group_end - i;
+            i = group_end;
+        }
+    }
+
     pub fn hkey(&self, i: usize) -> Option<&BigIndex> {
         self.hkeys[i].as_ref()
+    }
+
+    /// Copy rows `r` into a fresh column set — the Hilbert split path, which
+    /// duplicates each side with a handful of column memcpys instead of one
+    /// interchange [`Entry`] (and its boxed coords) per row.
+    pub fn clone_range(&self, r: std::ops::Range<usize>) -> Self {
+        Self {
+            cols: self.cols.iter().map(|c| c[r.clone()].to_vec()).collect(),
+            measures: self.measures[r.clone()].to_vec(),
+            hkeys: self.hkeys[r.clone()].to_vec(),
+        }
+    }
+
+    /// Overwrite `item` with row `i` (reusing its coordinate buffer).
+    pub fn read_row_into(&self, i: usize, item: &mut Item) {
+        debug_assert_eq!(item.coords.len(), self.cols.len());
+        for (slot, col) in item.coords.iter_mut().zip(self.cols.iter()) {
+            *slot = col[i];
+        }
+        item.measure = self.measures[i];
     }
 
     /// Rebuild row `i` as an interchange [`Entry`].

@@ -222,9 +222,7 @@ impl<K: Key> ShardStore for TreeShard<K> {
         if self.tree.is_empty() {
             bulk_load(&self.tree, items);
         } else {
-            for it in &items {
-                self.tree.insert(it);
-            }
+            self.tree.insert_batch(&items);
         }
     }
     fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{ArcRwLockWriteGuard, Mutex, RwLock};
 use volap_dims::{Aggregate, HilbertMapper, Item, Key, Mbr, QueryBox, Schema};
 use volap_hilbert::BigIndex;
 
@@ -108,6 +108,19 @@ pub(crate) fn new_leaf<K: Key>(entries: LeafColumns, agg: Aggregate) -> Arc<Node
 
 pub(crate) fn new_dir<K: Key>(entries: Vec<DirEntry<K>>, agg: Aggregate) -> Arc<Node<K>> {
     Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Dir(entries) }))
+}
+
+/// Shortest run for which a materialized key union pays for itself: below
+/// this, each path node extends its slot key per item directly.
+const RUN_KEY_MIN: usize = 4;
+
+/// Reusable buffers for the batch-insert run descent, so steady-state
+/// batching performs no per-run allocation.
+struct RunScratch<K: Key> {
+    /// Retained write guards, root first.
+    path: Vec<ArcRwLockWriteGuard<NodeInner<K>>>,
+    /// Chosen child index per directory level of `path`.
+    slots: Vec<usize>,
 }
 
 /// Per-query traversal statistics (used by the Figure 4/9 experiments).
@@ -220,6 +233,13 @@ impl<K: Key> ConcurrentTree<K> {
     pub fn insert(&self, item: &Item) {
         debug_assert_eq!(item.coords.len(), self.schema.dims());
         let entry = self.entry_of(item);
+        self.insert_entry(item, entry);
+    }
+
+    /// The per-item insert path, with the entry (and its Hilbert key)
+    /// already computed — shared by [`Self::insert`] and the batch path's
+    /// split fallback, which must not recompute keys.
+    fn insert_entry(&self, item: &Item, entry: Entry) {
         'retry: loop {
             let root_arc = Arc::clone(&self.root.read());
             let mut cur = RwLock::write_arc(&root_arc);
@@ -276,6 +296,179 @@ impl<K: Key> ConcurrentTree<K> {
         }
     }
 
+    /// Insert a batch of items. Equivalent to calling [`Self::insert`] on
+    /// each item, but amortized: all Hilbert keys are computed up front
+    /// (through one reusable key scratch), the batch is sorted by key, and
+    /// key-adjacent runs descend the tree once per run instead of once per
+    /// item, updating the aggregates and keys of each path node once per
+    /// run.
+    ///
+    /// Thread-safe and linearizable per run: a run's descent retains the
+    /// write guards of its whole path and applies no mutation until the
+    /// leaf has fixed the run size, so concurrent queries never observe a
+    /// partially applied run, and concurrent inserts order before or after
+    /// it exactly as with per-item inserts. Encountering a full node
+    /// mid-descent falls back to the per-item path (which performs the
+    /// preventive split) for the head of the run, then resumes batching.
+    ///
+    /// The geometric policy has no key order to exploit and degenerates to
+    /// the per-item loop.
+    pub fn insert_batch(&self, items: &[Item]) {
+        let use_runs = self.mapper.is_some() && items.len() >= 2;
+        if !use_runs {
+            for it in items {
+                self.insert(it);
+            }
+            return;
+        }
+        let mut keys = self.mapper.as_ref().unwrap().batch();
+        let mut keyed: Vec<(BigIndex, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| {
+                debug_assert_eq!(it.coords.len(), self.schema.dims());
+                (keys.key(it), i as u32)
+            })
+            .collect();
+        keyed.sort_unstable();
+        // Scratch reused across runs so steady-state batching allocates
+        // nothing per run.
+        let mut scratch = RunScratch { path: Vec::new(), slots: Vec::new() };
+        let mut start = 0;
+        while start < keyed.len() {
+            start += self.insert_run(items, &mut keyed, start, &mut scratch);
+        }
+    }
+
+    /// Insert one key-adjacent run starting at `keyed[start]` with a single
+    /// locked descent; returns how many items were consumed (≥ 1).
+    ///
+    /// The descent retains the write guard of every node on the path. At
+    /// each directory it narrows the run to the keys the chosen child's LHV
+    /// routes to it; at the leaf it caps the run at the leaf's free space.
+    /// Only then — run size final, whole path still locked — does it apply
+    /// the aggregate, key, and LHV updates for exactly the inserted items,
+    /// and it applies them once per path node (the run's aggregate and key
+    /// union are built once and merged in), not once per item per node.
+    /// Updating top-down during the descent instead would over-count
+    /// ancestors whenever the run shrinks further down (min/max cannot be
+    /// un-merged from an aggregate).
+    fn insert_run(
+        &self,
+        items: &[Item],
+        keyed: &mut [(BigIndex, u32)],
+        start: usize,
+        scratch: &mut RunScratch<K>,
+    ) -> usize {
+        'retry: loop {
+            let root_arc = Arc::clone(&self.root.read());
+            let root_guard = RwLock::write_arc(&root_arc);
+            if self.is_full(&root_guard) {
+                drop(root_guard);
+                self.split_root(&root_arc);
+                continue 'retry;
+            }
+            let path = &mut scratch.path;
+            path.clear();
+            path.push(root_guard);
+            // Chosen child index per directory level of `path`.
+            let slots = &mut scratch.slots;
+            slots.clear();
+            let mut run_end = keyed.len();
+            loop {
+                let step = match &path.last().unwrap().children {
+                    NodeChildren::Leaf(_) => None,
+                    NodeChildren::Dir(entries) => {
+                        let h = &keyed[start].0;
+                        let idx = entries
+                            .iter()
+                            .position(|e| e.lhv.as_ref().is_some_and(|l| l >= h))
+                            .unwrap_or(entries.len() - 1);
+                        // Keys above this child's LHV route to a later
+                        // sibling — unless this is the last child, which
+                        // takes everything that reaches it.
+                        if idx + 1 < entries.len() {
+                            if let Some(l) = entries[idx].lhv.as_ref() {
+                                run_end =
+                                    start + keyed[start..run_end].partition_point(|(k, _)| k <= l);
+                                debug_assert!(run_end > start, "chosen child must accept the run head");
+                            }
+                        }
+                        Some((idx, Arc::clone(&entries[idx].node)))
+                    }
+                };
+                let Some((idx, child_arc)) = step else { break };
+                let child_guard = RwLock::write_arc(&child_arc);
+                if self.is_full(&child_guard) {
+                    // Full child mid-descent. Nothing has been mutated yet,
+                    // so retreat entirely and push the head of the run
+                    // through the per-item path, which performs the
+                    // preventive split; the batch loop then resumes.
+                    drop(child_guard);
+                    path.clear();
+                    let i = keyed[start].1 as usize;
+                    let entry = Entry {
+                        coords: items[i].coords.clone(),
+                        measure: items[i].measure,
+                        hkey: Some(std::mem::take(&mut keyed[start].0)),
+                    };
+                    self.insert_entry(&items[i], entry);
+                    return 1;
+                }
+                slots.push(idx);
+                path.push(child_guard);
+            }
+            // Reached a non-full leaf: the run size is now final.
+            let leaf_len = match &path.last().unwrap().children {
+                NodeChildren::Leaf(l) => l.len(),
+                NodeChildren::Dir(_) => unreachable!(),
+            };
+            let k = (run_end - start).min(self.cfg.leaf_cap - leaf_len);
+            debug_assert!(k >= 1);
+            // Build the run's aggregate once; every path node merges it in
+            // one step instead of once per item. The key union is only
+            // materialized for longer runs — for a handful of items,
+            // extending each slot key directly is cheaper than building and
+            // merging an intermediate key.
+            let mut run_agg = Aggregate::empty();
+            for &(_, i) in keyed[start..start + k].iter() {
+                run_agg.add(items[i as usize].measure);
+            }
+            let run_key = (k >= RUN_KEY_MIN).then(|| {
+                let mut union = K::empty(&self.schema);
+                for &(_, i) in keyed[start..start + k].iter() {
+                    union.extend_item(&self.schema, &items[i as usize]);
+                }
+                union
+            });
+            let run_max = keyed[start + k - 1].0.clone();
+            for (depth, guard) in path.iter_mut().enumerate() {
+                guard.agg.merge(&run_agg);
+                if let NodeChildren::Dir(entries) = &mut guard.children {
+                    let idx = slots[depth];
+                    match &run_key {
+                        Some(union) => entries[idx].key.extend_key(&self.schema, union),
+                        None => {
+                            for &(_, i) in keyed[start..start + k].iter() {
+                                entries[idx].key.extend_item(&self.schema, &items[i as usize]);
+                            }
+                        }
+                    }
+                    match &mut entries[idx].lhv {
+                        Some(l) if run_max <= *l => {}
+                        slot => *slot = Some(run_max.clone()),
+                    }
+                }
+            }
+            if let NodeChildren::Leaf(leaf) = &mut path.last_mut().unwrap().children {
+                leaf.insert_run(items, &mut keyed[start..start + k]);
+            }
+            path.clear(); // release leaf-to-root, after all updates
+            self.len.fetch_add(k as u64, Ordering::AcqRel);
+            return k;
+        }
+    }
+
     /// Split a full root by building two fresh children and swapping the
     /// root pointer. The old root stays intact for concurrent readers.
     fn split_root(&self, old_root: &Arc<Node<K>>) {
@@ -298,16 +491,35 @@ impl<K: Key> ConcurrentTree<K> {
     /// (paper §III-D). Returns the two parent slots.
     fn split_node(&self, inner: &NodeInner<K>) -> (DirEntry<K>, DirEntry<K>) {
         match &inner.children {
+            NodeChildren::Leaf(cols) if self.mapper.is_some() => {
+                // Hilbert rows are already key-ordered: choose the split over
+                // the rows in place and duplicate each side with a few column
+                // memcpys, instead of materializing an interchange Entry and
+                // a full key per row. Splits sit on both ingest hot paths, so
+                // this is where allocation pressure matters most.
+                let n = cols.len();
+                let mut scratch = Item { coords: vec![0u64; self.schema.dims()].into(), measure: 0.0 };
+                let split = self.best_split_rows(n, self.cfg.min_leaf(), |key, i| {
+                    cols.read_row_into(i, &mut scratch);
+                    key.extend_item(&self.schema, &scratch);
+                });
+                (
+                    self.make_hilbert_leaf_slot(cols.clone_range(0..split)),
+                    self.make_hilbert_leaf_slot(cols.clone_range(split..n)),
+                )
+            }
             NodeChildren::Leaf(entries) => {
+                // Geometric policy: rows carry no global order, so sort
+                // interchange entries along the longest dimension first.
                 let mut sorted: Vec<Entry> = entries.to_entries();
-                if self.mapper.is_none() {
-                    sort_entries_geometric(&self.schema, &mut sorted);
-                }
+                sort_entries_geometric(&self.schema, &mut sorted);
                 let keys: Vec<K> = sorted
                     .iter()
                     .map(|e| K::from_item(&self.schema, &e.to_item()))
                     .collect();
-                let split = self.best_split(&keys, self.cfg.min_leaf());
+                let split = self.best_split_rows(keys.len(), self.cfg.min_leaf(), |acc, i| {
+                    acc.extend_key(&self.schema, &keys[i]);
+                });
                 let right_entries = sorted.split_off(split);
                 (self.make_leaf_slot(sorted), self.make_leaf_slot(right_entries))
             }
@@ -316,8 +528,9 @@ impl<K: Key> ConcurrentTree<K> {
                 if self.mapper.is_none() {
                     sort_dir_geometric(&self.schema, &mut sorted);
                 }
-                let keys: Vec<K> = sorted.iter().map(|e| e.key.clone()).collect();
-                let split = self.best_split(&keys, self.cfg.min_dir());
+                let split = self.best_split_rows(sorted.len(), self.cfg.min_dir(), |acc, i| {
+                    acc.extend_key(&self.schema, &sorted[i].key);
+                });
                 let right_entries = sorted.split_off(split);
                 (self.make_dir_slot(sorted), self.make_dir_slot(right_entries))
             }
@@ -341,6 +554,24 @@ impl<K: Key> ConcurrentTree<K> {
         DirEntry { key, lhv, node: new_leaf(LeafColumns::from_entries(self.schema.dims(), entries), agg) }
     }
 
+    /// Parent slot for an already-key-sorted columnar leaf (Hilbert policy):
+    /// the LHV is simply the last row's key, and the slot key is built by
+    /// streaming rows through one reused coordinate buffer.
+    fn make_hilbert_leaf_slot(&self, cols: LeafColumns) -> DirEntry<K> {
+        let n = cols.len();
+        let mut key = K::empty(&self.schema);
+        let mut agg = Aggregate::empty();
+        let mut scratch = Item { coords: vec![0u64; self.schema.dims()].into(), measure: 0.0 };
+        for i in 0..n {
+            cols.read_row_into(i, &mut scratch);
+            key.extend_item(&self.schema, &scratch);
+            agg.add(scratch.measure);
+        }
+        let lhv = n.checked_sub(1).and_then(|i| cols.hkey(i).cloned());
+        debug_assert!(lhv.is_some(), "hilbert leaf split produced an empty or keyless side");
+        DirEntry { key, lhv, node: new_leaf(cols, agg) }
+    }
+
     pub(crate) fn make_dir_slot(&self, entries: Vec<DirEntry<K>>) -> DirEntry<K> {
         let mut key = K::empty(&self.schema);
         let mut agg = Aggregate::empty();
@@ -358,34 +589,52 @@ impl<K: Key> ConcurrentTree<K> {
         DirEntry { key, lhv, node: new_dir(entries, agg) }
     }
 
-    /// Least-overlap split index over an ordered key sequence: evaluates
+    /// Least-overlap split index over an ordered sequence of `n` rows, where
+    /// `extend(acc, i)` folds row `i`'s key into an accumulator: evaluates
     /// every legal split in linear time via prefix/suffix key unions and
-    /// returns the index minimizing overlap between the two sides
-    /// (balance breaks ties).
-    fn best_split(&self, keys: &[K], min_fill: usize) -> usize {
-        let n = keys.len();
+    /// returns the index minimizing overlap between the two sides (balance
+    /// breaks ties). Taking an accessor instead of `&[K]` lets the Hilbert
+    /// leaf path split without materializing a key per row.
+    fn best_split_rows(
+        &self,
+        n: usize,
+        min_fill: usize,
+        mut extend: impl FnMut(&mut K, usize),
+    ) -> usize {
         debug_assert!(n >= 2);
         let min = min_fill.min(n / 2).max(1);
         let lo = min;
         let hi = n - min;
-        // prefix[i] = union of keys[0..i]; suffix[i] = union of keys[i..n].
-        let mut prefix = Vec::with_capacity(n + 1);
-        prefix.push(K::empty(&self.schema));
-        for k in keys {
-            let mut next = prefix.last().unwrap().clone();
-            next.extend_key(&self.schema, k);
-            prefix.push(next);
+        // Only splits in [lo, hi] are legal, so only those key unions are
+        // ever compared: run one accumulator through the mandatory head
+        // (tail), and materialize clones for the candidate window alone.
+        // prefix[i - lo] = union of rows 0..i, for i in lo..=hi.
+        let mut acc = K::empty(&self.schema);
+        for i in 0..lo {
+            extend(&mut acc, i);
         }
-        let mut suffix = vec![K::empty(&self.schema); n + 1];
-        for i in (0..n).rev() {
-            let mut s = suffix[i + 1].clone();
-            s.extend_key(&self.schema, &keys[i]);
-            suffix[i] = s;
+        let mut prefix = Vec::with_capacity(hi - lo + 1);
+        for i in lo..hi {
+            prefix.push(acc.clone());
+            extend(&mut acc, i);
         }
+        prefix.push(acc);
+        // suffix[i - lo] = union of rows i..n, for i in lo..=hi.
+        let mut acc = K::empty(&self.schema);
+        for i in hi..n {
+            extend(&mut acc, i);
+        }
+        let mut suffix = Vec::with_capacity(hi - lo + 1);
+        for i in (lo..hi).rev() {
+            suffix.push(acc.clone());
+            extend(&mut acc, i);
+        }
+        suffix.push(acc);
+        suffix.reverse();
         let mut best = lo;
         let mut best_cost = (f64::INFINITY, usize::MAX);
         for i in lo..=hi {
-            let overlap = prefix[i].overlap_frac(&self.schema, &suffix[i]);
+            let overlap = prefix[i - lo].overlap_frac(&self.schema, &suffix[i - lo]);
             let balance = (2 * i).abs_diff(n);
             if (overlap, balance) < best_cost {
                 best_cost = (overlap, balance);

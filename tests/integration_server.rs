@@ -107,6 +107,48 @@ fn server_learns_new_shards_through_watches() {
 }
 
 #[test]
+fn server_coalesces_concurrent_client_inserts() {
+    let schema = Schema::uniform(2, 2, 8);
+    let net = Network::new();
+    let image = ImageStore::new(CoordService::new(), schema.clone());
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.ingest_batch = 8;
+    cfg.ingest_flush_interval = Duration::from_millis(5);
+    let driver = net.endpoint("driver");
+    let worker = spawn_worker(&net, &image, &cfg, "w0");
+    create_empty_shard(&driver, "w0", &schema, 1, TIMEOUT).unwrap();
+    create_empty_shard(&driver, "w0", &schema, 2, TIMEOUT).unwrap();
+    let server = spawn_server(&net, &image, &cfg, "s0");
+    // 16 blocked clients keep the buffer fed: full batches flush inline,
+    // stragglers ride the interval flusher. Every client still gets an Ack.
+    std::thread::scope(|scope| {
+        for t in 0..16u64 {
+            let client = net.endpoint(format!("c{t}"));
+            let schema = schema.clone();
+            scope.spawn(move || {
+                let mut gen = DataGen::new(&schema, 100 + t, 1.0);
+                for it in gen.items(25) {
+                    let bytes = client
+                        .request("s0", Request::ClientInsert { item: it }.encode(), TIMEOUT)
+                        .expect("request");
+                    assert_eq!(
+                        Response::decode(&schema, &bytes).expect("decode"),
+                        Response::Ack
+                    );
+                }
+            });
+        }
+    });
+    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema) {
+        Response::Agg { agg, .. } => assert_eq!(agg.count, 400),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(server.metrics.inserts.load(std::sync::atomic::Ordering::Relaxed), 400);
+    server.stop();
+    worker.stop();
+}
+
+#[test]
 fn server_with_no_shards_errors_cleanly() {
     let schema = Schema::uniform(2, 2, 8);
     let net = Network::new();

@@ -125,6 +125,72 @@ fn split_over_wire_updates_image_and_aliases() {
 }
 
 #[test]
+fn bulk_insert_through_split_and_migration_aliases() {
+    let schema = Schema::uniform(2, 2, 16);
+    let (net, image, cfg, driver) = setup(&schema);
+    let w0 = spawn_worker(&net, &image, &cfg, "w0");
+    let w1 = spawn_worker(&net, &image, &cfg, "w1");
+    create_empty_shard(&driver, "w0", &schema, 1, TIMEOUT).unwrap();
+    let mut gen = DataGen::new(&schema, 6, 1.0);
+    ask(&driver, "w0", Request::BulkInsert { shard: 1, items: gen.items(400) }, &schema);
+    // Split twice so the alias for 1 is a chain: 1 -> (10, 11), 10 -> (12, 13).
+    for (shard, l, r) in [(1, 10, 11), (10, 12, 13)] {
+        match ask(
+            &driver,
+            "w0",
+            Request::SplitShard { shard, left_id: l, right_id: r },
+            &schema,
+        ) {
+            Response::SplitDone { left, right } => assert!(left.len > 0 && right.len > 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // A bulk insert addressed to the pre-split ID must partition across the
+    // whole alias chain in one request.
+    assert_eq!(
+        ask(&driver, "w0", Request::BulkInsert { shard: 1, items: gen.items(200) }, &schema),
+        Response::Ack
+    );
+    match ask(
+        &driver,
+        "w0",
+        Request::Query { shards: vec![1], query: QueryBox::all(&schema) },
+        &schema,
+    ) {
+        Response::Agg { agg, shards_searched } => {
+            assert_eq!(agg.count, 600);
+            assert_eq!(shards_searched, 3, "alias chain expands to all three leaves");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Move one leaf away: the partitioned group for it must be forwarded as
+    // a single bulk request, the rest stay local.
+    assert_eq!(
+        ask(&driver, "w0", Request::Migrate { shard: 12, dest: "w1".into() }, &schema),
+        Response::Ack
+    );
+    assert_eq!(
+        ask(&driver, "w0", Request::BulkInsert { shard: 1, items: gen.items(100) }, &schema),
+        Response::Ack
+    );
+    let mut total = 0;
+    for (worker, shards) in [("w0", vec![11, 13]), ("w1", vec![12])] {
+        match ask(
+            &driver,
+            worker,
+            Request::Query { shards, query: QueryBox::all(&schema) },
+            &schema,
+        ) {
+            Response::Agg { agg, .. } => total += agg.count,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(total, 700, "every bulk item landed exactly once across the halves");
+    w0.stop();
+    w1.stop();
+}
+
+#[test]
 fn migrate_over_wire_forwards_and_updates_image() {
     let schema = Schema::uniform(2, 2, 16);
     let (net, image, cfg, driver) = setup(&schema);
