@@ -1,0 +1,106 @@
+//! Observability overhead guard, recorded to `BENCH_obs.json`.
+//!
+//! Drives a per-item ingest workload through one long-lived cluster while
+//! flipping the registry's runtime histogram switch between measurement
+//! segments (counters stay on; they are the cheap part), and compares
+//! items/sec. The obs record path is a handful of relaxed atomics plus two
+//! `Instant` reads per timed operation, so instrumented throughput must
+//! stay within tolerance (default 5%, `OBS_OVERHEAD_TOLERANCE` to
+//! override) of the histograms-off rate; the process exits non-zero
+//! otherwise. The statistic is a trimmed mean of per-pair overheads: each
+//! pair runs the two configurations back to back and alternates which
+//! goes first, so the slow throughput decay from tree growth lands on
+//! both sides equally and cancels from the mean, while trimming the
+//! extreme pairs discards segments that caught an OS scheduling hiccup.
+
+use std::time::Instant;
+
+use volap::{ClientSession, Cluster, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{Item, Schema};
+
+const ITEMS_PER_SEGMENT: usize = 15_000;
+const PAIRS: usize = 16;
+const TRIM: usize = 3;
+
+fn segment(client: &ClientSession, items: &[Item]) -> f64 {
+    let t = Instant::now();
+    for item in items {
+        client.insert(item).expect("insert");
+    }
+    items.len() as f64 / t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let tolerance: f64 = std::env::var("OBS_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let reg = cluster.obs().registry();
+    let mut gen = DataGen::new(&schema, 17, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..3 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT));
+    }
+
+    let (mut on_rates, mut off_rates, mut overheads) = (Vec::new(), Vec::new(), Vec::new());
+    for pair in 0..PAIRS {
+        let order = if pair % 2 == 0 { [true, false] } else { [false, true] };
+        let (mut on_rate, mut off_rate) = (0f64, 0f64);
+        for on in order {
+            reg.set_histograms_enabled(on);
+            let per_s = segment(&client, &gen.items(ITEMS_PER_SEGMENT));
+            if on {
+                on_rate = per_s;
+            } else {
+                off_rate = per_s;
+            }
+        }
+        println!("pair {pair:>2}: on {on_rate:>7.0}/s  off {off_rate:>7.0}/s");
+        on_rates.push(on_rate);
+        off_rates.push(off_rate);
+        overheads.push((off_rate - on_rate) / off_rate);
+    }
+    reg.set_histograms_enabled(true);
+    cluster.shutdown();
+
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        (v[(v.len() - 1) / 2] + v[v.len() / 2]) / 2.0
+    };
+    let instrumented = median(&mut on_rates);
+    let disabled = median(&mut off_rates);
+    overheads.sort_by(f64::total_cmp);
+    let kept = &overheads[TRIM..PAIRS - TRIM];
+    let overhead = kept.iter().sum::<f64>() / kept.len() as f64;
+    let ok = overhead <= tolerance;
+    println!(
+        "instrumented {instrumented:.0}/s vs histograms-off {disabled:.0}/s (medians) \
+         -> trimmed-mean overhead {:.2}% (tolerance {:.0}%) {}",
+        overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+         \"pairs\": {PAIRS},\n  \
+         \"instrumented_per_s_median\": {instrumented:.0},\n  \
+         \"histograms_off_per_s_median\": {disabled:.0},\n  \
+         \"overhead_frac_trimmed_mean\": {overhead:.4},\n  \"tolerance_frac\": {tolerance},\n  \
+         \"within_tolerance\": {ok}\n}}\n"
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

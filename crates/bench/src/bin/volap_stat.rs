@@ -1,0 +1,112 @@
+//! `volap-stat`: run a mixed workload on a small in-process cluster, take a
+//! cluster-wide observability snapshot, and emit it through both exporters.
+//!
+//! Doubles as the CI smoke test for the exposition formats: after printing,
+//! it re-parses its own output with `export::from_prometheus` /
+//! `export::from_json` and exits non-zero if either fails to round-trip, if
+//! the latency histograms are empty, or if the measured staleness probe
+//! never recorded a sample. Usage: `volap-stat [--json | --prom]` (default:
+//! human summary + both formats).
+
+use std::time::{Duration, Instant};
+
+use volap::{Cluster, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{QueryBox, Schema};
+use volap_obs::export;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("volap-stat: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 2;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2;
+    cfg.sync_period = Duration::from_millis(20);
+    let cluster = Cluster::start(cfg);
+
+    // Mixed workload: item inserts and queries spread over both servers,
+    // plus one bulk batch per server.
+    let mut gen = DataGen::new(&schema, 42, 1.3);
+    for (i, item) in gen.items(2_000).into_iter().enumerate() {
+        cluster.client_on(i % 2).insert(&item).unwrap_or_else(|e| fail(&e));
+    }
+    for s in 0..2 {
+        cluster.client_on(s).bulk_insert(gen.items(1_000)).unwrap_or_else(|e| fail(&e));
+    }
+    for i in 0..50 {
+        cluster.client_on(i % 2).query(&QueryBox::all(&schema)).unwrap_or_else(|e| fail(&e));
+    }
+    // Give the sync threads a few rounds so the staleness probe observes
+    // cross-server applies.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.obs().staleness().count() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let snap = cluster.snapshot();
+    cluster.shutdown();
+
+    // Self-validate before printing anything: CI runs this binary and
+    // relies on the exit code.
+    if snap.counter("volap_server_inserts_total") != 4_000 {
+        fail("server insert counter does not match the workload");
+    }
+    let insert_hist = snap
+        .histogram("volap_server_insert_seconds")
+        .unwrap_or_else(|| fail("insert latency histogram missing"));
+    if insert_hist.count == 0 {
+        fail("insert latency histogram is empty");
+    }
+    if snap.staleness.count == 0 {
+        fail("staleness probe recorded no samples");
+    }
+    let prom = export::to_prometheus(&snap);
+    match export::from_prometheus(&prom) {
+        Ok(back) if back == snap.metrics_only() => {}
+        Ok(_) => fail("prometheus exposition did not round-trip losslessly"),
+        Err(e) => fail(&format!("prometheus exposition malformed: {e}")),
+    }
+    let json = export::to_json(&snap);
+    match export::from_json(&json) {
+        Ok(back) if back == snap => {}
+        Ok(_) => fail("JSON snapshot did not round-trip losslessly"),
+        Err(e) => fail(&format!("JSON snapshot malformed: {e}")),
+    }
+
+    match mode.as_str() {
+        "--prom" => print!("{prom}"),
+        "--json" => println!("{json}"),
+        _ => {
+            println!("# volap-stat: cluster snapshot (2 servers, 4 shards, mixed workload)");
+            println!("#");
+            for name in [
+                "volap_server_inserts_total",
+                "volap_server_queries_total",
+                "volap_server_box_expansions_total",
+                "volap_server_sync_rounds_total",
+                "volap_worker_inserts_total",
+                "volap_worker_bulk_items_total",
+                "volap_net_messages_total",
+                "volap_net_bytes_total",
+            ] {
+                println!("# {name:<42} {}", snap.counter(name));
+            }
+            println!(
+                "# staleness: {} samples, p50 {:.1} ms, p95 {:.1} ms",
+                snap.staleness.count,
+                snap.staleness.quantile(0.5) * 1e3,
+                snap.staleness.quantile(0.95) * 1e3,
+            );
+            println!("# events retained: {}", snap.events.len());
+            println!();
+            print!("{prom}");
+        }
+    }
+    eprintln!("volap-stat: OK (both exporters round-trip)");
+}

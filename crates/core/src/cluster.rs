@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use volap_coord::CoordService;
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Network};
+use volap_obs::{Obs, ObsConfig, Snapshot};
 
 use crate::config::VolapConfig;
 use crate::image::ImageStore;
@@ -44,7 +45,12 @@ impl Cluster {
             None => Network::new(),
         };
         let coord = CoordService::new();
-        let image = ImageStore::new(coord, cfg.schema.clone());
+        let obs = Obs::new(ObsConfig {
+            histograms: cfg.obs_histograms,
+            event_capacity: cfg.obs_event_capacity,
+        });
+        net.attach_obs(obs.registry());
+        let image = ImageStore::with_obs(coord, cfg.schema.clone(), obs);
         let bootstrap_ep = net.endpoint("bootstrap");
 
         let mut workers = Vec::new();
@@ -152,13 +158,23 @@ impl Cluster {
         }
     }
 
+    /// The deployment's observability core (metrics registry, event log,
+    /// and staleness probe), shared by every component.
+    pub fn obs(&self) -> &Obs {
+        self.image.obs()
+    }
+
+    /// One coherent observability snapshot: every counter, gauge, and
+    /// latency histogram, the recent structured events, and the measured
+    /// staleness distribution. Render it with `volap_obs::export`.
+    pub fn snapshot(&self) -> Snapshot {
+        self.obs().snapshot()
+    }
+
     /// `(splits, migrations)` performed so far by the manager.
     pub fn balance_counts(&self) -> (u64, u64) {
         match &self.manager {
-            Some(m) => (
-                m.stats.splits.load(Ordering::Relaxed),
-                m.stats.migrations.load(Ordering::Relaxed),
-            ),
+            Some(m) => (m.stats.splits.get(), m.stats.migrations.get()),
             None => (0, 0),
         }
     }
@@ -180,12 +196,11 @@ impl Cluster {
     /// twice and difference to get the expansion probability of a *mature*
     /// database window (feeds the Figure-10 simulation).
     pub fn expansion_counts(&self) -> (u64, u64) {
-        let (mut ins, mut exp) = (0u64, 0u64);
-        for s in &self.servers {
-            ins += s.metrics.inserts.load(Ordering::Relaxed);
-            exp += s.metrics.expansions.load(Ordering::Relaxed);
-        }
-        (ins, exp)
+        let reg = self.obs().registry();
+        (
+            reg.sum_counters("volap_server_inserts_total"),
+            reg.sum_counters("volap_server_box_expansions_total"),
+        )
     }
 
     /// Cumulative fraction of inserts that expanded a shard box.

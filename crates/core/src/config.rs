@@ -70,6 +70,14 @@ pub struct VolapConfig {
     /// partially filled ingest batch is flushed. Only meaningful when
     /// `ingest_batch > 1`.
     pub ingest_flush_interval: Duration,
+    /// Whether observability latency histograms record at all. Counters,
+    /// gauges, the event log, and the staleness probe are always on (their
+    /// record path is a relaxed atomic or fires only on rare events);
+    /// histograms additionally cost two `Instant::now()` calls per timed
+    /// operation, and this knob turns that off for overhead-critical runs.
+    pub obs_histograms: bool,
+    /// Total structured events retained by the observability ring buffer.
+    pub obs_event_capacity: usize,
 }
 
 impl VolapConfig {
@@ -97,6 +105,8 @@ impl VolapConfig {
             index_dir_cap: 8,
             ingest_batch: 1,
             ingest_flush_interval: Duration::from_millis(2),
+            obs_histograms: true,
+            obs_event_capacity: 4096,
         }
     }
 }

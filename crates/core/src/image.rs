@@ -15,6 +15,7 @@
 use bytes::{Buf, BufMut};
 use volap_coord::{CoordError, CoordService};
 use volap_dims::{Mbr, Schema};
+use volap_obs::{Counter, Obs};
 
 use crate::wire::{self, WireError};
 
@@ -73,21 +74,44 @@ impl ShardRecord {
 }
 
 /// Typed facade over the coordination store for image operations.
+///
+/// Also the distribution channel for the deployment's observability core:
+/// every component (server, worker, manager) receives the `ImageStore` at
+/// spawn, so the [`Obs`] handle embedded here reaches them all without
+/// widening any spawn signature.
 #[derive(Clone)]
 pub struct ImageStore {
     coord: CoordService,
     schema: Schema,
+    obs: Obs,
+    merges: Counter,
+    cas_retries: Counter,
+    removes: Counter,
 }
 
 impl ImageStore {
-    /// Wrap a coordination service.
+    /// Wrap a coordination service (with a default observability core).
     pub fn new(coord: CoordService, schema: Schema) -> Self {
-        Self { coord, schema }
+        Self::with_obs(coord, schema, Obs::default())
+    }
+
+    /// Wrap a coordination service sharing an existing observability core.
+    pub fn with_obs(coord: CoordService, schema: Schema, obs: Obs) -> Self {
+        let reg = obs.registry();
+        let merges = reg.counter("volap_image_merges_total");
+        let cas_retries = reg.counter("volap_image_cas_retries_total");
+        let removes = reg.counter("volap_image_removes_total");
+        Self { coord, schema, obs, merges, cas_retries, removes }
     }
 
     /// The underlying coordination service.
     pub fn coord(&self) -> &CoordService {
         &self.coord
+    }
+
+    /// The deployment-wide observability core.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Allocate `n` consecutive fresh shard IDs (CAS loop on the counter).
@@ -119,7 +143,9 @@ impl ImageStore {
     /// expansions and worker-side statistics thus never clobber each other.
     pub fn merge_shard(&self, rec: &ShardRecord) {
         let path = ShardRecord::path(rec.id);
+        let mut attempts = 0u64;
         loop {
+            attempts += 1;
             match self.coord.get(&path) {
                 None => {
                     // Only a publisher that actually owns the shard (names a
@@ -127,9 +153,11 @@ impl ImageStore {
                     // expansion for a shard that was just split/retired must
                     // not resurrect it as an ownerless ghost.
                     if rec.worker.is_empty() {
+                        self.record_merge(attempts);
                         return;
                     }
                     if self.coord.create(&path, rec.encode()).is_ok() {
+                        self.record_merge(attempts);
                         return;
                     }
                 }
@@ -149,10 +177,19 @@ impl ImageStore {
                         Err(_) => rec.clone(),
                     };
                     if self.coord.set(&path, merged.encode(), Some(version)).is_ok() {
+                        self.record_merge(attempts);
                         return;
                     }
                 }
             }
+        }
+    }
+
+    /// Account one completed merge and any CAS retries it needed.
+    fn record_merge(&self, attempts: u64) {
+        self.merges.inc();
+        if attempts > 1 {
+            self.cas_retries.add(attempts - 1);
         }
     }
 
@@ -164,7 +201,11 @@ impl ImageStore {
 
     /// Remove a shard record.
     pub fn remove_shard(&self, id: u64) -> Result<(), CoordError> {
-        self.coord.delete(&ShardRecord::path(id))
+        let res = self.coord.delete(&ShardRecord::path(id));
+        if res.is_ok() {
+            self.removes.inc();
+        }
+        res
     }
 
     /// Read one shard record.

@@ -23,6 +23,7 @@
 //! | workload generation | `volap_data` |
 //! | message fabric (ZeroMQ substitute) | `volap_net` |
 //! | coordination store (Zookeeper substitute) | `volap_coord` |
+//! | observability core (metrics, events, staleness) | `volap_obs` |
 //! | the distributed system | this crate |
 //!
 //! ## Quickstart
@@ -65,6 +66,7 @@ pub use freshness::FreshnessSim;
 pub use image::{ImageStore, ShardRecord};
 pub use manager::{balance_round, BalanceStats, ManagerHandle};
 pub use proto::{Request, Response};
-pub use server::{ServerHandle, ServerMetrics};
+pub use server::ServerHandle;
 pub use server_index::ServerIndex;
+pub use volap_obs::{Obs, ObsConfig, Snapshot};
 pub use worker::WorkerHandle;

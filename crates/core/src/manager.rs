@@ -14,26 +14,45 @@
 //! anywhere in the system.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use volap_net::{Endpoint, Network};
+use volap_obs::{Counter, Histogram, Obs};
 
 use crate::config::VolapConfig;
 use crate::image::ImageStore;
 use crate::proto::{Request, Response};
 
 /// Cumulative counts of load-balancing operations (the right-hand axis of
-/// Figure 6).
-#[derive(Debug, Default)]
+/// Figure 6), backed by the deployment's metrics registry so they appear in
+/// cluster snapshots alongside every other metric.
+#[derive(Clone)]
 pub struct BalanceStats {
-    /// Completed shard splits.
-    pub splits: AtomicU64,
-    /// Completed shard migrations.
-    pub migrations: AtomicU64,
-    /// Shard records removed because their worker's session expired.
-    pub orphans_removed: AtomicU64,
+    /// Completed shard splits (`volap_manager_splits_total`).
+    pub splits: Counter,
+    /// Completed shard migrations (`volap_manager_migrations_total`).
+    pub migrations: Counter,
+    /// Shard records removed because their worker's session expired
+    /// (`volap_manager_orphans_removed_total`).
+    pub orphans_removed: Counter,
+    /// Wall time of each planning round (`volap_manager_round_seconds`).
+    round_seconds: Histogram,
+}
+
+impl BalanceStats {
+    /// Register (or re-attach to) the manager metrics in an observability
+    /// core.
+    pub fn new(obs: &Obs) -> Self {
+        let reg = obs.registry();
+        Self {
+            splits: reg.counter("volap_manager_splits_total"),
+            migrations: reg.counter("volap_manager_migrations_total"),
+            orphans_removed: reg.counter("volap_manager_orphans_removed_total"),
+            round_seconds: reg.histogram("volap_manager_round_seconds"),
+        }
+    }
 }
 
 /// Handle to a running manager.
@@ -57,7 +76,7 @@ impl ManagerHandle {
 /// Spawn the manager loop.
 pub fn spawn_manager(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: &str) -> ManagerHandle {
     let endpoint = net.endpoint(name.to_string());
-    let stats = Arc::new(BalanceStats::default());
+    let stats = Arc::new(BalanceStats::new(image.obs()));
     let shutdown = Arc::new(AtomicBool::new(false));
     let thread = {
         let image = image.clone();
@@ -85,6 +104,7 @@ pub fn balance_round(
     cfg: &VolapConfig,
     stats: &BalanceStats,
 ) {
+    let _timer = stats.round_seconds.start();
     // Expire dead sessions so the live-worker view is current.
     image.coord().reap_expired();
     let shards = image.shards();
@@ -97,7 +117,11 @@ pub fn balance_round(
     // no replication; the record removal restores routing for the rest).
     for rec in &shards {
         if !workers.iter().any(|w| w == &rec.worker) && image.remove_shard(rec.id).is_ok() {
-            stats.orphans_removed.fetch_add(1, Ordering::Relaxed);
+            stats.orphans_removed.inc();
+            image
+                .obs()
+                .events()
+                .record("orphan_reap", format!("shard={} worker={}", rec.id, rec.worker));
         }
     }
     let shards = image.shards();
@@ -113,7 +137,11 @@ pub fn balance_round(
             };
             if let Ok(bytes) = endpoint.request(&rec.worker, req.encode(), cfg.request_timeout) {
                 if matches!(Response::decode(&cfg.schema, &bytes), Ok(Response::SplitDone { .. })) {
-                    stats.splits.fetch_add(1, Ordering::Relaxed);
+                    stats.splits.inc();
+                    image.obs().events().record(
+                        "manager_split",
+                        format!("shard={} worker={} len={}", rec.id, rec.worker, rec.len),
+                    );
                 }
             }
         }
@@ -163,7 +191,11 @@ pub fn balance_round(
             .is_some_and(|r| matches!(r, Response::Ack));
         let mut rest: Vec<(u64, u64)> = candidates.into_iter().filter(|&(s, _)| s != shard).collect();
         if ok {
-            stats.migrations.fetch_add(1, Ordering::Relaxed);
+            stats.migrations.inc();
+            image.obs().events().record(
+                "manager_migrate",
+                format!("shard={shard} src={src} dest={dst} len={len}"),
+            );
             *load.get_mut(src).unwrap() -= len;
             *load.get_mut(dst).unwrap() += len;
             by_worker.entry(dst).or_default().push((shard, len));

@@ -8,7 +8,7 @@
 //! staleness analyzed in §IV-F.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -17,39 +17,50 @@ use parking_lot::{Mutex, RwLock};
 use volap_coord::EventKind;
 use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
+use volap_obs::{Counter, Histogram, StalenessProbe};
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord, SHARDS_PREFIX};
 use crate::proto::{Request, Response};
 use crate::server_index::ServerIndex;
 
-/// Counters exposed for experiments (expansion probability feeds the
-/// Figure-10 freshness simulation).
-#[derive(Debug, Default)]
-pub struct ServerMetrics {
-    /// Client inserts routed.
-    pub inserts: AtomicU64,
-    /// Inserts that expanded a shard box (the only ones that can ever be
-    /// missed by a stale remote image).
-    pub expansions: AtomicU64,
-    /// Client queries routed.
-    pub queries: AtomicU64,
+/// Observability handles registered once at spawn (recording is pure
+/// relaxed atomics). Counters are labeled per server; latency histograms
+/// are shared deployment-wide to bound metric cardinality.
+struct ServerObs {
+    inserts: Counter,
+    expansions: Counter,
+    queries: Counter,
+    route_misses: Counter,
+    sync_rounds: Counter,
+    image_applies: Counter,
+    insert_seconds: Histogram,
+    bulk_insert_seconds: Histogram,
+    query_seconds: Histogram,
+    ingest_flush_seconds: Histogram,
+    staleness: StalenessProbe,
 }
 
-impl ServerMetrics {
-    /// Fraction of inserts that expanded a shard box.
-    pub fn expansion_prob(&self) -> f64 {
-        let ins = self.inserts.load(Ordering::Relaxed);
-        if ins == 0 {
-            0.0
-        } else {
-            self.expansions.load(Ordering::Relaxed) as f64 / ins as f64
+impl ServerObs {
+    fn new(image: &ImageStore, name: &str) -> Self {
+        let reg = image.obs().registry();
+        Self {
+            inserts: reg.counter_labeled("volap_server_inserts_total", "server", name),
+            expansions: reg.counter_labeled("volap_server_box_expansions_total", "server", name),
+            queries: reg.counter_labeled("volap_server_queries_total", "server", name),
+            route_misses: reg.counter_labeled("volap_server_route_misses_total", "server", name),
+            sync_rounds: reg.counter_labeled("volap_server_sync_rounds_total", "server", name),
+            image_applies: reg.counter_labeled("volap_server_image_applies_total", "server", name),
+            insert_seconds: reg.histogram("volap_server_insert_seconds"),
+            bulk_insert_seconds: reg.histogram("volap_server_bulk_insert_seconds"),
+            query_seconds: reg.histogram("volap_server_query_seconds"),
+            ingest_flush_seconds: reg.histogram("volap_server_ingest_flush_seconds"),
+            staleness: image.obs().staleness().clone(),
         }
     }
 }
 
 struct ServerState {
-    #[allow(dead_code)]
     name: String,
     schema: Schema,
     cfg: VolapConfig,
@@ -63,15 +74,13 @@ struct ServerState {
     /// `cfg.ingest_batch > 1`): each entry keeps its reply handle so the
     /// client is acknowledged by its shard's bulk outcome.
     ingest: Mutex<Vec<(Item, Incoming)>>,
-    metrics: Arc<ServerMetrics>,
+    obs: ServerObs,
 }
 
 /// Handle to a running server.
 pub struct ServerHandle {
     /// The server's endpoint name.
     pub name: String,
-    /// Shared metrics.
-    pub metrics: Arc<ServerMetrics>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -90,7 +99,6 @@ impl ServerHandle {
 pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: &str) -> ServerHandle {
     let endpoint = net.endpoint(name.to_string());
     image.add_server(name);
-    let metrics = Arc::new(ServerMetrics::default());
     let state = Arc::new(ServerState {
         name: name.to_string(),
         schema: cfg.schema.clone(),
@@ -101,7 +109,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         locations: RwLock::new(HashMap::new()),
         dirty: Mutex::new(HashMap::new()),
         ingest: Mutex::new(Vec::new()),
-        metrics: Arc::clone(&metrics),
+        obs: ServerObs::new(image, name),
     });
     // Watch before the initial load so no update can slip between them.
     let watch_rx = image.coord().watch_prefix(SHARDS_PREFIX);
@@ -164,7 +172,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
                 .expect("spawn ingest flush thread"),
         );
     }
-    ServerHandle { name: name.to_string(), metrics, shutdown, threads }
+    ServerHandle { name: name.to_string(), shutdown, threads }
 }
 
 fn bootstrap(st: &Arc<ServerState>) {
@@ -181,10 +189,20 @@ fn bootstrap(st: &Arc<ServerState>) {
 /// Push locally observed expansions to the global image ("servers update
 /// Zookeeper every 3 seconds as necessary").
 fn push_dirty(st: &Arc<ServerState>) {
+    st.obs.sync_rounds.inc();
     let dirty: Vec<(u64, Mbr)> = st.dirty.lock().drain().collect();
+    if dirty.is_empty() {
+        return;
+    }
+    let pushed = dirty.len();
     for (id, mbr) in dirty {
         st.image.merge_shard(&ShardRecord { id, worker: String::new(), len: 0, mbr });
+        st.obs.staleness.pushed(id, &st.name);
     }
+    st.image
+        .obs()
+        .events()
+        .record("image_sync", format!("server={} shards_pushed={pushed}", st.name));
 }
 
 /// Apply one global-image change to the local image.
@@ -211,6 +229,11 @@ fn apply_event(st: &Arc<ServerState>, path: &str, kind: EventKind) {
                 if !rec.worker.is_empty() {
                     st.locations.write().insert(id, rec.worker);
                 }
+                st.obs.image_applies.inc();
+                // Staleness probe: this server's local image now reflects
+                // the shard's published box (self-applies are ignored by
+                // the probe).
+                st.obs.staleness.applied(id, &st.name);
             }
         }
     }
@@ -256,19 +279,27 @@ fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
     if let Some(d) = st.locations.read().get(&shard).filter(|d| !d.is_empty()).cloned() {
         return Some(d);
     }
+    // Local map is stale: fall back to the global image.
+    st.obs.route_misses.inc();
+    st.image
+        .obs()
+        .events()
+        .record("route_miss", format!("server={} shard={shard}", st.name));
     let w = st.image.shard(shard).map(|r| r.worker).filter(|w| !w.is_empty())?;
     st.locations.write().insert(shard, w.clone());
     Some(w)
 }
 
 fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
-    st.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+    let _timer = st.obs.insert_seconds.start();
+    st.obs.inserts.inc();
     let routed = st.index.write().route_insert(item);
     let Some((shard, expanded)) = routed else {
         return Response::Err("no shards available".into());
     };
     if expanded {
-        st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+        st.obs.expansions.inc();
+        st.obs.staleness.expansion(shard, &st.name);
         let mut dirty = st.dirty.lock();
         let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
         entry.extend_item(&st.schema, item);
@@ -309,7 +340,8 @@ fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
     if batch.is_empty() {
         return;
     }
-    st.metrics.inserts.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let _timer = st.obs.ingest_flush_seconds.start();
+    st.obs.inserts.add(batch.len() as u64);
     let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
     {
         let mut index = st.index.write();
@@ -320,7 +352,8 @@ fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
                 continue;
             };
             if expanded {
-                st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+                st.obs.expansions.inc();
+                st.obs.staleness.expansion(shard, &st.name);
                 let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
                 entry.extend_item(&st.schema, &item);
             }
@@ -365,7 +398,8 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
     if items.is_empty() {
         return Response::Ack;
     }
-    st.metrics.inserts.fetch_add(items.len() as u64, Ordering::Relaxed);
+    let _timer = st.obs.bulk_insert_seconds.start();
+    st.obs.inserts.add(items.len() as u64);
     // Phase 1: route everything under one index lock.
     let mut by_shard: HashMap<u64, Vec<Item>> = HashMap::new();
     {
@@ -376,7 +410,8 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
                 return Response::Err("no shards available".into());
             };
             if expanded {
-                st.metrics.expansions.fetch_add(1, Ordering::Relaxed);
+                st.obs.expansions.inc();
+                st.obs.staleness.expansion(shard, &st.name);
                 let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
                 entry.extend_item(&st.schema, &item);
             }
@@ -411,7 +446,8 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
 }
 
 fn route_query(st: &Arc<ServerState>, query: &QueryBox) -> Response {
-    st.metrics.queries.fetch_add(1, Ordering::Relaxed);
+    let _timer = st.obs.query_seconds.start();
+    st.obs.queries.inc();
     let shard_ids = st.index.read().route_query(query);
     if shard_ids.is_empty() {
         return Response::Agg { agg: Aggregate::empty(), shards_searched: 0 };

@@ -17,11 +17,65 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
+use volap_obs::{Counter, Gauge, Histogram};
 use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord};
 use crate::proto::{Request, Response};
+
+/// Observability handles registered once at spawn. Counters and gauges are
+/// labeled per worker; latency histograms are shared deployment-wide.
+struct WorkerObs {
+    inserts: Counter,
+    bulk_items: Counter,
+    queries: Counter,
+    /// Items diverted to an insertion queue while their shard was busy
+    /// splitting or migrating (§III-E).
+    queue_inserts: Counter,
+    splits: Counter,
+    migrations_out: Counter,
+    adoptions: Counter,
+    /// Active + busy shard slots on this worker.
+    shards: Gauge,
+    /// Total queued items across busy slots (non-zero only while a split
+    /// or migration is in flight).
+    queue_depth: Gauge,
+    /// Total items held across active + busy stores.
+    items: Gauge,
+    /// Cumulative tree node splits across this worker's stores (scraped
+    /// from shard statistics, so it trails by one stats period).
+    node_splits: Gauge,
+    insert_seconds: Histogram,
+    bulk_insert_seconds: Histogram,
+    query_seconds: Histogram,
+    split_seconds: Histogram,
+    migrate_seconds: Histogram,
+}
+
+impl WorkerObs {
+    fn new(image: &ImageStore, name: &str) -> Self {
+        let reg = image.obs().registry();
+        Self {
+            inserts: reg.counter_labeled("volap_worker_inserts_total", "worker", name),
+            bulk_items: reg.counter_labeled("volap_worker_bulk_items_total", "worker", name),
+            queries: reg.counter_labeled("volap_worker_queries_total", "worker", name),
+            queue_inserts: reg.counter_labeled("volap_worker_queue_inserts_total", "worker", name),
+            splits: reg.counter_labeled("volap_worker_splits_total", "worker", name),
+            migrations_out: reg.counter_labeled("volap_worker_migrations_out_total", "worker", name),
+            adoptions: reg.counter_labeled("volap_worker_adoptions_total", "worker", name),
+            shards: reg.gauge_labeled("volap_worker_shards", "worker", name),
+            queue_depth: reg.gauge_labeled("volap_worker_queue_depth", "worker", name),
+            items: reg.gauge_labeled("volap_worker_items", "worker", name),
+            node_splits: reg.gauge_labeled("volap_worker_tree_node_splits", "worker", name),
+            insert_seconds: reg.histogram("volap_worker_insert_seconds"),
+            bulk_insert_seconds: reg.histogram("volap_worker_bulk_insert_seconds"),
+            query_seconds: reg.histogram("volap_worker_query_seconds"),
+            split_seconds: reg.histogram("volap_worker_split_seconds"),
+            migrate_seconds: reg.histogram("volap_worker_migrate_seconds"),
+        }
+    }
+}
 
 enum SlotState {
     /// Normal service.
@@ -49,6 +103,7 @@ struct WorkerState {
     /// Pool for fanning one query's local shard scans out in parallel
     /// (`None` when `cfg.query_threads == 1`).
     query_pool: Option<rayon::ThreadPool>,
+    obs: WorkerObs,
 }
 
 /// Handle to a running worker: name plus the machinery to stop it.
@@ -95,6 +150,7 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         image: image.clone(),
         slots: RwLock::new(HashMap::new()),
         query_pool,
+        obs: WorkerObs::new(image, name),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -136,16 +192,25 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
 fn publish_stats(st: &WorkerState) {
     let slots: Vec<(u64, Arc<Slot>)> =
         st.slots.read().iter().map(|(&id, s)| (id, Arc::clone(s))).collect();
+    let (mut live, mut items, mut queued, mut node_splits) = (0i64, 0i64, 0i64, 0i64);
     for (id, slot) in slots {
         let rec = {
             let guard = slot.state.read();
             match &*guard {
-                SlotState::Active { store } | SlotState::Busy { store, .. } => Some(ShardRecord {
-                    id,
-                    worker: st.name.clone(),
-                    len: store.len(),
-                    mbr: store.mbr(),
-                }),
+                SlotState::Active { store } | SlotState::Busy { store, .. } => {
+                    live += 1;
+                    items += store.len() as i64;
+                    node_splits += store.stats().node_splits as i64;
+                    if let SlotState::Busy { queue, .. } = &*guard {
+                        queued += queue.len() as i64;
+                    }
+                    Some(ShardRecord {
+                        id,
+                        worker: st.name.clone(),
+                        len: store.len(),
+                        mbr: store.mbr(),
+                    })
+                }
                 _ => None,
             }
         };
@@ -153,6 +218,10 @@ fn publish_stats(st: &WorkerState) {
             st.image.merge_shard(&rec);
         }
     }
+    st.obs.shards.set(live);
+    st.obs.items.set(items);
+    st.obs.queue_depth.set(queued);
+    st.obs.node_splits.set(node_splits);
 }
 
 fn reply(msg: &Incoming, resp: Response) {
@@ -215,6 +284,8 @@ fn handle(st: &Arc<WorkerState>, msg: Incoming) {
 /// Insert into a local shard, chasing aliases. `via_bulk_drain` suppresses
 /// forwarding loops during queue drains.
 fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain: bool) -> Response {
+    let _timer = st.obs.insert_seconds.start();
+    st.obs.inserts.inc();
     let mut target = shard;
     for _ in 0..64 {
         let slot = match st.slots.read().get(&target) {
@@ -228,6 +299,7 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
                 return Response::Ack;
             }
             SlotState::Busy { queue, .. } => {
+                st.obs.queue_inserts.inc();
                 queue.insert(item);
                 return Response::Ack;
             }
@@ -251,6 +323,8 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
 /// child groups; a moved shard forwards its whole group as one
 /// `BulkInsert`.
 fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Response {
+    let _timer = st.obs.bulk_insert_seconds.start();
+    st.obs.bulk_items.add(items.len() as u64);
     let mut work: Vec<(u64, Vec<Item>, u32)> = vec![(shard, items, 0)];
     while let Some((id, group, depth)) = work.pop() {
         if group.is_empty() {
@@ -273,6 +347,7 @@ fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Res
             SlotState::Busy { queue, .. } => {
                 let queue = Arc::clone(queue);
                 drop(guard);
+                st.obs.queue_inserts.add(group.len() as u64);
                 queue.bulk_insert(group);
             }
             SlotState::SplitInto { left, right, plan } => {
@@ -315,6 +390,8 @@ impl ScanTarget {
 }
 
 fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Response {
+    let _timer = st.obs.query_seconds.start();
+    st.obs.queries.inc();
     // Phase 1: chase aliases sequentially (cheap pointer work) to resolve
     // the local stores to scan and the per-destination remote batches.
     let mut scans: Vec<ScanTarget> = Vec::new();
@@ -428,6 +505,7 @@ fn revert_merge(
 /// Split a shard in place (manager-initiated). The shard keeps serving
 /// throughout: inserts go to the queue, queries search main + queue.
 fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> Response {
+    let _timer = st.obs.split_seconds.start();
     let slot = match st.slots.read().get(&shard) {
         Some(s) => Arc::clone(s),
         None => return Response::Err(format!("unknown shard {shard}")),
@@ -484,6 +562,14 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
     st.image.merge_shard(&left_rec);
     st.image.merge_shard(&right_rec);
     let _ = st.image.remove_shard(shard);
+    st.obs.splits.inc();
+    st.image.obs().events().record(
+        "shard_split",
+        format!(
+            "worker={} shard={shard} left={left_id}({}) right={right_id}({})",
+            st.name, left_rec.len, right_rec.len
+        ),
+    );
     Response::SplitDone { left: left_rec, right: right_rec }
 }
 
@@ -492,6 +578,7 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
     if dest == st.name {
         return Response::Ack; // no-op
     }
+    let _timer = st.obs.migrate_seconds.start();
     let slot = match st.slots.read().get(&shard) {
         Some(s) => Arc::clone(s),
         None => return Response::Err(format!("unknown shard {shard}")),
@@ -545,6 +632,11 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
         len: store.len(),
         mbr: store.mbr(),
     });
+    st.obs.migrations_out.inc();
+    st.image.obs().events().record(
+        "shard_migrate",
+        format!("worker={} shard={shard} dest={dest} items={}", st.name, store.len()),
+    );
     Response::Ack
 }
 
@@ -562,6 +654,11 @@ fn do_adopt(st: &Arc<WorkerState>, shard: u64, blob: &[u8]) -> Response {
                 .write()
                 .insert(shard, Arc::new(Slot { state: RwLock::new(SlotState::Active { store }) }));
             st.image.merge_shard(&rec);
+            st.obs.adoptions.inc();
+            st.image
+                .obs()
+                .events()
+                .record("shard_adopt", format!("worker={} shard={shard} items={}", st.name, rec.len));
             Response::Ack
         }
         Err(e) => Response::Err(format!("adopt decode failed: {e}")),

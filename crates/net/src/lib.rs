@@ -22,11 +22,28 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
+use volap_obs::{Counter, Histogram, Registry};
+
+/// Fabric-level observability handles, attached once per network (see
+/// [`Network::attach_obs`]). Absent by default so the fabric stays
+/// dependency-quiet for unit tests and standalone use.
+struct NetObs {
+    /// Envelopes routed (requests, replies, and fire-and-forget sends).
+    messages: Counter,
+    /// Payload bytes routed.
+    bytes: Counter,
+    /// Requests issued via `request`/`request_many`.
+    requests: Counter,
+    /// Requests that timed out waiting for their reply.
+    timeouts: Counter,
+    /// Request round-trip latency.
+    request_seconds: Histogram,
+}
 
 /// Errors surfaced by the fabric.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +103,7 @@ struct NetworkInner {
     endpoints: RwLock<HashMap<String, Arc<EndpointCore>>>,
     latency: Option<Duration>,
     delay_tx: Mutex<Option<Sender<(Instant, String, Envelope)>>>,
+    obs: OnceLock<NetObs>,
 }
 
 /// The fabric: a registry of endpoints plus the delivery path.
@@ -108,6 +126,7 @@ impl Network {
                 endpoints: RwLock::new(HashMap::new()),
                 latency: None,
                 delay_tx: Mutex::new(None),
+                obs: OnceLock::new(),
             }),
         }
     }
@@ -121,6 +140,7 @@ impl Network {
                 endpoints: RwLock::new(HashMap::new()),
                 latency: Some(latency),
                 delay_tx: Mutex::new(None),
+                obs: OnceLock::new(),
             }),
         };
         let (tx, rx) = unbounded::<(Instant, String, Envelope)>();
@@ -163,6 +183,22 @@ impl Network {
         Endpoint { net: self.clone(), core }
     }
 
+    /// Attach fabric metrics to a registry (idempotent; the first call
+    /// wins). Until attached, the fabric records nothing.
+    pub fn attach_obs(&self, registry: &Registry) {
+        let _ = self.inner.obs.set(NetObs {
+            messages: registry.counter("volap_net_messages_total"),
+            bytes: registry.counter("volap_net_bytes_total"),
+            requests: registry.counter("volap_net_requests_total"),
+            timeouts: registry.counter("volap_net_timeouts_total"),
+            request_seconds: registry.histogram("volap_net_request_seconds"),
+        });
+    }
+
+    fn obs(&self) -> Option<&NetObs> {
+        self.inner.obs.get()
+    }
+
     /// Remove an endpoint from the registry (messages to it start failing).
     pub fn unregister(&self, name: &str) {
         self.inner.endpoints.write().remove(name);
@@ -174,6 +210,10 @@ impl Network {
     }
 
     fn route(&self, to: &str, env: Envelope) -> Result<(), NetError> {
+        if let Some(obs) = self.obs() {
+            obs.messages.inc();
+            obs.bytes.add(env.payload.len() as u64);
+        }
         let target = self
             .inner
             .endpoints
@@ -249,6 +289,10 @@ impl Endpoint {
 
     /// Send a request and block for the correlated reply.
     pub fn request(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        let _timer = self.net.obs().map(|o| {
+            o.requests.inc();
+            o.request_seconds.start()
+        });
         let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.core.pending.lock().insert(corr, tx);
@@ -264,6 +308,9 @@ impl Endpoint {
             Ok(env) => Ok(env.payload),
             Err(_) => {
                 self.core.pending.lock().remove(&corr);
+                if let Some(obs) = self.net.obs() {
+                    obs.timeouts.inc();
+                }
                 Err(NetError::Timeout)
             }
         }
@@ -282,6 +329,10 @@ impl Endpoint {
             return Vec::new();
         }
         let n = requests.len();
+        let _timer = self.net.obs().map(|o| {
+            o.requests.add(n as u64);
+            o.request_seconds.start()
+        });
         let (tx, rx) = bounded(n);
         let mut corr_to_idx = HashMap::with_capacity(n);
         let mut results: Vec<Result<Vec<u8>, NetError>> =
@@ -338,6 +389,9 @@ impl Endpoint {
         }
         // Forget any stragglers.
         if outstanding > 0 {
+            if let Some(obs) = self.net.obs() {
+                obs.timeouts.add(outstanding as u64);
+            }
             let mut pending = self.core.pending.lock();
             for &corr in corr_to_idx.keys() {
                 pending.remove(&corr);

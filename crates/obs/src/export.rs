@@ -1,0 +1,675 @@
+//! Exporters: Prometheus-style text exposition and a JSON document, each
+//! with a parser so snapshots **round-trip** — `volap-stat` and CI validate
+//! output by re-parsing it, and tests assert exact equality.
+//!
+//! Floating-point values are written with Rust's shortest-round-trip
+//! `Display`, so `parse::<f64>()` recovers them bit-exactly; `u64` counters
+//! are written as integers and never pass through `f64`.
+
+use crate::events::Event;
+use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
+use crate::snapshot::Snapshot;
+use crate::staleness::StalenessSnapshot;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn label_block(id: &MetricId, extra: Option<(&str, String)>) -> String {
+    let mut pairs = Vec::new();
+    if let Some((k, v)) = &id.label {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(&v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str) {
+    if last.as_deref() != Some(name) {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        *last = Some(name.to_string());
+    }
+}
+
+/// Render the metric part of a snapshot as Prometheus text exposition.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last = None;
+    for c in &snap.counters {
+        type_line(&mut out, &mut last, &c.id.name, "counter");
+        out.push_str(&format!("{}{} {}\n", c.id.name, label_block(&c.id, None), c.value));
+    }
+    for g in &snap.gauges {
+        type_line(&mut out, &mut last, &g.id.name, "gauge");
+        out.push_str(&format!("{}{} {}\n", g.id.name, label_block(&g.id, None), g.value));
+    }
+    for h in &snap.histograms {
+        type_line(&mut out, &mut last, &h.id.name, "histogram");
+        for &(le, count) in &h.buckets {
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                h.id.name,
+                label_block(&h.id, Some(("le", format!("{le}")))),
+                count
+            ));
+        }
+        out.push_str(&format!(
+            "{}_bucket{} {}\n",
+            h.id.name,
+            label_block(&h.id, Some(("le", "+Inf".to_string()))),
+            h.count
+        ));
+        out.push_str(&format!(
+            "{}_sum{} {}\n",
+            h.id.name,
+            label_block(&h.id, None),
+            h.sum_seconds
+        ));
+        out.push_str(&format!(
+            "{}_count{} {}\n",
+            h.id.name,
+            label_block(&h.id, None),
+            h.count
+        ));
+    }
+    out
+}
+
+/// Parse one `name{k="v",...}` prefix into `(name, labels)`.
+fn parse_series(s: &str) -> Result<(String, Vec<(String, String)>), String> {
+    match s.find('{') {
+        None => Ok((s.to_string(), Vec::new())),
+        Some(open) => {
+            let name = s[..open].to_string();
+            let rest = &s[open + 1..];
+            let close = rest.rfind('}').ok_or_else(|| format!("unclosed label block: {s}"))?;
+            let mut labels = Vec::new();
+            let body = &rest[..close];
+            let mut i = 0;
+            let bytes = body.as_bytes();
+            while i < bytes.len() {
+                let eq = body[i..].find('=').ok_or_else(|| format!("bad label in {s}"))? + i;
+                let key = body[i..eq].trim_start_matches(',').to_string();
+                if bytes.get(eq + 1) != Some(&b'"') {
+                    return Err(format!("label value not quoted: {s}"));
+                }
+                // Find the closing unescaped quote.
+                let mut j = eq + 2;
+                while j < bytes.len() {
+                    if bytes[j] == b'\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if bytes[j] == b'"' {
+                        break;
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(format!("unterminated label value: {s}"));
+                }
+                labels.push((key, unescape_label(&body[eq + 2..j])));
+                i = j + 1;
+                if bytes.get(i) == Some(&b',') {
+                    i += 1;
+                }
+            }
+            Ok((name, labels))
+        }
+    }
+}
+
+/// Parse text exposition produced by [`to_prometheus`] back into the metric
+/// part of a [`Snapshot`] (events and staleness samples have no exposition
+/// form). Any malformed line is an error — this is the validator CI runs.
+pub fn from_prometheus(text: &str) -> Result<Snapshot, String> {
+    let mut types: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+    let mut snap = Snapshot::default();
+    // Histograms are assembled incrementally keyed by id.
+    let mut open_histos: Vec<HistogramSnapshot> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or("TYPE line missing name")?;
+            let kind = parts.next().ok_or("TYPE line missing kind")?;
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("unknown metric type {kind}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments
+        }
+        let sp = line.rfind(' ').ok_or_else(|| format!("no value on line: {line}"))?;
+        let (series, value) = (&line[..sp], line[sp + 1..].trim());
+        let (full_name, labels) = parse_series(series)?;
+
+        // Histogram component lines end in _bucket/_sum/_count and their base
+        // name carries TYPE histogram.
+        let histo_base = ["_bucket", "_sum", "_count"].iter().find_map(|suf| {
+            full_name
+                .strip_suffix(suf)
+                .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+                .map(|base| (base.to_string(), *suf))
+        });
+
+        if let Some((base, suffix)) = histo_base {
+            let id_labels: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            if id_labels.len() > 1 {
+                return Err(format!("more than one id label on {line}"));
+            }
+            let id = MetricId { name: base, label: id_labels.into_iter().next() };
+            let slot = match open_histos.iter_mut().find(|h| h.id == id) {
+                Some(h) => h,
+                None => {
+                    open_histos.push(HistogramSnapshot {
+                        id,
+                        count: 0,
+                        sum_seconds: 0.0,
+                        buckets: Vec::new(),
+                    });
+                    open_histos.last_mut().unwrap()
+                }
+            };
+            match suffix {
+                "_bucket" => {
+                    let le = &labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| format!("bucket without le: {line}"))?
+                        .1;
+                    let count: u64 =
+                        value.parse().map_err(|e| format!("bad bucket count {value}: {e}"))?;
+                    if le != "+Inf" {
+                        let le: f64 =
+                            le.parse().map_err(|e| format!("bad le {le}: {e}"))?;
+                        slot.buckets.push((le, count));
+                    }
+                }
+                "_sum" => {
+                    slot.sum_seconds =
+                        value.parse().map_err(|e| format!("bad sum {value}: {e}"))?;
+                }
+                "_count" => {
+                    slot.count = value.parse().map_err(|e| format!("bad count {value}: {e}"))?;
+                }
+                _ => unreachable!(),
+            }
+            continue;
+        }
+
+        if labels.len() > 1 {
+            return Err(format!("more than one label on {line}"));
+        }
+        let id = MetricId { name: full_name.clone(), label: labels.into_iter().next() };
+        match types.get(&full_name).map(String::as_str) {
+            Some("counter") => snap.counters.push(ScalarSnapshot {
+                id,
+                value: value.parse().map_err(|e| format!("bad counter {value}: {e}"))?,
+            }),
+            Some("gauge") => snap.gauges.push(ScalarSnapshot {
+                id,
+                value: value.parse().map_err(|e| format!("bad gauge {value}: {e}"))?,
+            }),
+            Some(other) => return Err(format!("{full_name}: unexpected sample for {other}")),
+            None => return Err(format!("sample before TYPE line: {line}")),
+        }
+    }
+    snap.histograms = open_histos;
+    Ok(snap)
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_label(id: &MetricId) -> String {
+    match &id.label {
+        Some((k, v)) => format!("[\"{}\",\"{}\"]", json_escape(k), json_escape(v)),
+        None => "null".to_string(),
+    }
+}
+
+/// Render a full snapshot (metrics + events + staleness) as JSON.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [");
+    let mut first = true;
+    for c in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"label\": {}, \"value\": {}}}",
+            json_escape(&c.id.name),
+            json_label(&c.id),
+            c.value
+        ));
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    first = true;
+    for g in &snap.gauges {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"label\": {}, \"value\": {}}}",
+            json_escape(&g.id.name),
+            json_label(&g.id),
+            g.value
+        ));
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    first = true;
+    for h in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let buckets: Vec<String> =
+            h.buckets.iter().map(|(le, c)| format!("[{le},{c}]")).collect();
+        out.push_str(&format!(
+            "\n    {{\"name\": \"{}\", \"label\": {}, \"count\": {}, \"sum_seconds\": {}, \"buckets\": [{}]}}",
+            json_escape(&h.id.name),
+            json_label(&h.id),
+            h.count,
+            h.sum_seconds,
+            buckets.join(",")
+        ));
+    }
+    out.push_str("\n  ],\n  \"events\": [");
+    first = true;
+    for e in &snap.events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"seq\": {}, \"ts_us\": {}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+            e.seq,
+            e.ts_us,
+            json_escape(&e.kind),
+            json_escape(&e.detail)
+        ));
+    }
+    let samples: Vec<String> =
+        snap.staleness.samples_seconds.iter().map(|s| format!("{s}")).collect();
+    out.push_str(&format!(
+        "\n  ],\n  \"staleness\": {{\"count\": {}, \"samples_seconds\": [{}]}}\n}}\n",
+        snap.staleness.count,
+        samples.join(",")
+    ));
+    out
+}
+
+// --- minimal JSON value model; numbers keep their lexeme for exactness ----
+
+#[derive(Debug, Clone)]
+enum Json {
+    Null,
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key {key}")),
+            _ => Err(format!("not an object while looking up {key}")),
+        }
+    }
+    fn arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected array".into()),
+        }
+    }
+    fn str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+    fn num<T: std::str::FromStr>(&self) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self {
+            Json::Num(s) => s.parse().map_err(|e| format!("bad number {s}: {e}")),
+            _ => Err("expected number".into()),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of JSON".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = match self.value()? {
+                        Json::Str(s) => s,
+                        _ => return Err("object key must be a string".into()),
+                    };
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        other => return Err(format!("bad object separator {:?}", other as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array separator {:?}", other as char)),
+                    }
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut out = String::new();
+                loop {
+                    let b = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    self.pos += 1;
+                    match b {
+                        b'"' => return Ok(Json::Str(out)),
+                        b'\\' => {
+                            let esc = *self
+                                .bytes
+                                .get(self.pos)
+                                .ok_or_else(|| "dangling escape".to_string())?;
+                            self.pos += 1;
+                            match esc {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                b'/' => out.push('/'),
+                                b'n' => out.push('\n'),
+                                b'r' => out.push('\r'),
+                                b't' => out.push('\t'),
+                                b'u' => {
+                                    let hex = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| "short \\u escape".to_string())?;
+                                    self.pos += 4;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                        16,
+                                    )
+                                    .map_err(|e| e.to_string())?;
+                                    out.push(
+                                        char::from_u32(code)
+                                            .ok_or_else(|| "bad \\u escape".to_string())?,
+                                    );
+                                }
+                                other => return Err(format!("bad escape \\{}", other as char)),
+                            }
+                        }
+                        _ => {
+                            // Re-sync to char boundary for multi-byte UTF-8.
+                            let start = self.pos - 1;
+                            let mut end = self.pos;
+                            while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                                end += 1;
+                            }
+                            out.push_str(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|e| e.to_string())?,
+                            );
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.bytes.len()
+                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.pos += 1;
+                }
+                if start == self.pos {
+                    return Err(format!("unexpected byte at {}", self.pos));
+                }
+                Ok(Json::Num(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?
+                        .to_string(),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_id(v: &Json) -> Result<MetricId, String> {
+    let name = v.get("name")?.str()?.to_string();
+    let label = match v.get("label")? {
+        Json::Null => None,
+        Json::Arr(pair) if pair.len() == 2 => {
+            Some((pair[0].str()?.to_string(), pair[1].str()?.to_string()))
+        }
+        _ => return Err("label must be null or a [key, value] pair".into()),
+    };
+    Ok(MetricId { name, label })
+}
+
+/// Parse JSON produced by [`to_json`] back into a full [`Snapshot`].
+pub fn from_json(text: &str) -> Result<Snapshot, String> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after JSON at {}", parser.pos));
+    }
+    let mut snap = Snapshot::default();
+    for c in root.get("counters")?.arr()? {
+        snap.counters.push(ScalarSnapshot { id: parse_id(c)?, value: c.get("value")?.num()? });
+    }
+    for g in root.get("gauges")?.arr()? {
+        snap.gauges.push(ScalarSnapshot { id: parse_id(g)?, value: g.get("value")?.num()? });
+    }
+    for h in root.get("histograms")?.arr()? {
+        let mut buckets = Vec::new();
+        for b in h.get("buckets")?.arr()? {
+            let pair = b.arr()?;
+            if pair.len() != 2 {
+                return Err("bucket must be [le, count]".into());
+            }
+            buckets.push((pair[0].num()?, pair[1].num()?));
+        }
+        snap.histograms.push(HistogramSnapshot {
+            id: parse_id(h)?,
+            count: h.get("count")?.num()?,
+            sum_seconds: h.get("sum_seconds")?.num()?,
+            buckets,
+        });
+    }
+    for e in root.get("events")?.arr()? {
+        snap.events.push(Event {
+            seq: e.get("seq")?.num()?,
+            ts_us: e.get("ts_us")?.num()?,
+            kind: e.get("kind")?.str()?.to_string(),
+            detail: e.get("detail")?.str()?.to_string(),
+        });
+    }
+    let st = root.get("staleness")?;
+    let mut samples = Vec::new();
+    for s in st.get("samples_seconds")?.arr()? {
+        samples.push(s.num()?);
+    }
+    snap.staleness = StalenessSnapshot { count: st.get("count")?.num()?, samples_seconds: samples };
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            counters: vec![
+                ScalarSnapshot { id: MetricId::plain("volap_a_total"), value: 3 },
+                ScalarSnapshot {
+                    id: MetricId::labeled("volap_b_total", "server", "server-0"),
+                    value: u64::MAX,
+                },
+            ],
+            gauges: vec![ScalarSnapshot {
+                id: MetricId::labeled("volap_depth", "worker", "w-1"),
+                value: -17,
+            }],
+            histograms: vec![HistogramSnapshot {
+                id: MetricId::plain("volap_lat_seconds"),
+                count: 5,
+                sum_seconds: 0.12345678901234567,
+                buckets: vec![(0.0, 0), (1e-9, 1), (3e-9, 5)],
+            }],
+            events: vec![Event {
+                seq: 0,
+                ts_us: 12,
+                kind: "shard_split".into(),
+                detail: "shard=1 \"quoted\"\nline".into(),
+            }],
+            staleness: StalenessSnapshot { count: 2, samples_seconds: vec![0.001, 0.25] },
+        }
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let back = from_prometheus(&text).unwrap();
+        assert_eq!(back, snap.metrics_only());
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let snap = sample_snapshot();
+        let back = from_json(&to_json(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_prometheus("volap_x_total 5").is_err(), "sample before TYPE");
+        assert!(from_prometheus("# TYPE volap_x_total counter\nvolap_x_total five").is_err());
+        assert!(from_json("{").is_err());
+        assert!(from_json("{}").is_err(), "missing keys");
+        assert!(from_json(&(to_json(&sample_snapshot()) + "x")).is_err(), "trailing bytes");
+    }
+}

@@ -1,0 +1,150 @@
+//! # volap-obs — the cluster observability core
+//!
+//! A zero-dependency, lock-free-on-the-record-path observability layer for
+//! the VOLAP reproduction. The paper's evaluation (Figures 6–10) hinges on
+//! per-stage insert/query latency and on the staleness of server images;
+//! this crate makes both measurable from a *running* cluster instead of an
+//! offline model:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and fixed-bucket log2
+//!   latency [`Histogram`]s. Registration takes a mutex once; recording is
+//!   pure relaxed atomics. A registry-wide switch (the
+//!   `VolapConfig::obs_histograms` knob upstream) turns every histogram
+//!   into a single load-and-branch.
+//! * [`EventLog`] — a bounded ring-buffer log of structured events (shard
+//!   splits, migrations, sync rounds, route misses) with per-thread ring
+//!   shards and a merge-on-snapshot reader.
+//! * [`StalenessProbe`] — an empirical PBS probe: servers stamp box
+//!   expansions, sync pushes, and remote image applies, and the probe turns
+//!   them into measured expansion-visibility delays — the measured
+//!   counterpart of the `FreshnessSim` Monte-Carlo model.
+//! * [`Snapshot`] + [`export`] — one coherent view of everything, rendered
+//!   as Prometheus text exposition or JSON; both exporters have parsers so
+//!   output round-trips and CI can validate it.
+//!
+//! [`Obs`] bundles the three instruments; the cluster crate owns one `Obs`
+//! per deployment (shared through its `ImageStore`) and surfaces it as
+//! `Cluster::snapshot()`.
+
+pub mod events;
+pub mod export;
+pub mod registry;
+pub mod snapshot;
+pub mod staleness;
+
+pub use events::{Event, EventLog};
+pub use registry::{
+    bucket_index, bucket_le_seconds, Counter, Gauge, Histogram, HistogramSnapshot, MetricId,
+    Registry, ScalarSnapshot, Timer, HIST_BUCKETS,
+};
+pub use snapshot::Snapshot;
+pub use staleness::{StalenessProbe, StalenessSnapshot};
+
+/// Sizing and switches for one [`Obs`] instance.
+#[derive(Clone, Debug)]
+pub struct ObsConfig {
+    /// Whether latency histograms record at all (counters, gauges, events,
+    /// and the staleness probe are always on — they are too cheap to gate).
+    pub histograms: bool,
+    /// Total events retained across the ring shards.
+    pub event_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self { histograms: true, event_capacity: 4096 }
+    }
+}
+
+/// The bundled observability core one cluster owns. Cheap to clone; clones
+/// share all state.
+#[derive(Clone)]
+pub struct Obs {
+    registry: Registry,
+    events: EventLog,
+    staleness: StalenessProbe,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new(ObsConfig::default())
+    }
+}
+
+impl Obs {
+    /// Build an observability core.
+    pub fn new(cfg: ObsConfig) -> Self {
+        let registry = Registry::new(cfg.histograms);
+        let staleness = StalenessProbe::new(registry.histogram("volap_staleness_seconds"));
+        Self { registry, events: EventLog::new(cfg.event_capacity), staleness }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The staleness probe.
+    pub fn staleness(&self) -> &StalenessProbe {
+        &self.staleness
+    }
+
+    /// One coherent snapshot of metrics, events, and measured staleness.
+    pub fn snapshot(&self) -> Snapshot {
+        let (counters, gauges, histograms) = self.registry.snapshot();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events.snapshot(),
+            staleness: self.staleness.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_snapshot_round_trips_through_both_exporters() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.registry().counter("volap_x_total").add(9);
+        obs.registry().gauge_labeled("volap_g", "worker", "w0").set(3);
+        obs.registry().histogram("volap_h_seconds").observe_ns(1500);
+        obs.events().record("test_event", "k=v".into());
+        obs.staleness().expansion(1, "s0");
+        obs.staleness().pushed(1, "s0");
+        obs.staleness().applied(1, "s1");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("volap_x_total"), 9);
+        assert_eq!(snap.staleness.count, 1);
+        assert_eq!(snap.events.len(), 1);
+        let json_back = export::from_json(&export::to_json(&snap)).unwrap();
+        assert_eq!(json_back, snap);
+        let prom_back = export::from_prometheus(&export::to_prometheus(&snap)).unwrap();
+        assert_eq!(prom_back, snap.metrics_only());
+        // The staleness distribution is in the exposition as a histogram.
+        assert_eq!(prom_back.histogram("volap_staleness_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn histograms_knob_disables_recording() {
+        let obs = Obs::new(ObsConfig { histograms: false, event_capacity: 64 });
+        let h = obs.registry().histogram("volap_h_seconds");
+        h.observe_ns(5);
+        assert_eq!(h.count(), 0);
+        // Staleness raw samples still record; only its histogram is gated.
+        obs.staleness().expansion(1, "s0");
+        obs.staleness().pushed(1, "s0");
+        obs.staleness().applied(1, "s1");
+        let snap = obs.snapshot();
+        assert_eq!(snap.staleness.count, 1);
+        assert_eq!(snap.histogram("volap_staleness_seconds").unwrap().count, 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! A coherent point-in-time view of everything the observability core
+//! knows: metrics, recent events, and measured staleness.
+
+use crate::events::Event;
+use crate::registry::{HistogramSnapshot, ScalarSnapshot};
+use crate::staleness::StalenessSnapshot;
+
+/// One full observability snapshot. `PartialEq` + the exporter parsers in
+/// [`crate::export`] give exact round-trip tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// All counters, sorted by id.
+    pub counters: Vec<ScalarSnapshot<u64>>,
+    /// All gauges, sorted by id.
+    pub gauges: Vec<ScalarSnapshot<i64>>,
+    /// All histograms, sorted by id (cumulative finite buckets).
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Recent events in global sequence order.
+    pub events: Vec<Event>,
+    /// Measured image-staleness samples.
+    pub staleness: StalenessSnapshot,
+}
+
+impl Snapshot {
+    /// This snapshot with events and staleness stripped — the subset the
+    /// Prometheus text exposition can represent (raw samples and the event
+    /// log have no exposition form; staleness *distribution* is still
+    /// present as the `volap_staleness_seconds` histogram).
+    pub fn metrics_only(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            events: Vec::new(),
+            staleness: StalenessSnapshot::default(),
+        }
+    }
+
+    /// Sum of all counters with this name, across labels.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().filter(|c| c.id.name == name).map(|c| c.value).sum()
+    }
+
+    /// Sum of all gauges with this name, across labels.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.iter().filter(|g| g.id.name == name).map(|g| g.value).sum()
+    }
+
+    /// The first histogram with this name (unlabeled histograms are unique).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.id.name == name)
+    }
+
+    /// Events of one kind.
+    pub fn events_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+}

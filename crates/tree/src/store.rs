@@ -115,6 +115,9 @@ pub struct StoreStats {
     pub leaves: u64,
     /// Height (1 for the array store).
     pub height: u32,
+    /// Cumulative tree node splits performed by inserts (0 for the array
+    /// store, which never splits nodes).
+    pub node_splits: u64,
 }
 
 /// Object-safe facade over any shard variant. This is the interface the
@@ -245,7 +248,13 @@ impl<K: Key> ShardStore for TreeShard<K> {
     }
     fn stats(&self) -> StoreStats {
         let s = self.tree.structure();
-        StoreStats { items: self.tree.len(), dirs: s.dirs, leaves: s.leaves, height: s.height }
+        StoreStats {
+            items: self.tree.len(),
+            dirs: s.dirs,
+            leaves: s.leaves,
+            height: s.height,
+            node_splits: self.tree.node_splits(),
+        }
     }
     fn split(&self, plan: &SplitPlan) -> (Box<dyn ShardStore>, Box<dyn ShardStore>) {
         let (left, right): (Vec<Item>, Vec<Item>) =
@@ -292,7 +301,7 @@ impl ShardStore for ArrayShard {
         self.store.items()
     }
     fn stats(&self) -> StoreStats {
-        StoreStats { items: self.store.len(), dirs: 0, leaves: 1, height: 1 }
+        StoreStats { items: self.store.len(), dirs: 0, leaves: 1, height: 1, node_splits: 0 }
     }
     fn split(&self, plan: &SplitPlan) -> (Box<dyn ShardStore>, Box<dyn ShardStore>) {
         let (left, right): (Vec<Item>, Vec<Item>) =

@@ -164,6 +164,9 @@ pub struct ConcurrentTree<K: Key> {
     mapper: Option<HilbertMapper>,
     root: RwLock<Arc<Node<K>>>,
     len: AtomicU64,
+    /// Cumulative node splits (root, preventive, and overflow), for
+    /// observability: split rate is the structural cost of ingest.
+    node_splits: AtomicU64,
     /// Recycled traversal stacks for the sequential query path, so steady-
     /// state queries allocate nothing (one stack replaces the per-directory
     /// `Vec` the recursive walk used to build).
@@ -186,6 +189,7 @@ impl<K: Key> ConcurrentTree<K> {
             policy,
             mapper,
             len: AtomicU64::new(0),
+            node_splits: AtomicU64::new(0),
             stack_pool: Mutex::new(Vec::new()),
         }
     }
@@ -208,6 +212,11 @@ impl<K: Key> ConcurrentTree<K> {
     /// Whether the tree holds no items.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Cumulative count of node splits performed by inserts.
+    pub fn node_splits(&self) -> u64 {
+        self.node_splits.load(Ordering::Relaxed)
     }
 
     pub(crate) fn entry_of(&self, item: &Item) -> Entry {
@@ -490,6 +499,7 @@ impl<K: Key> ConcurrentTree<K> {
     /// split point that minimizes overlap between the resulting keys
     /// (paper §III-D). Returns the two parent slots.
     fn split_node(&self, inner: &NodeInner<K>) -> (DirEntry<K>, DirEntry<K>) {
+        self.node_splits.fetch_add(1, Ordering::Relaxed);
         match &inner.children {
             NodeChildren::Leaf(cols) if self.mapper.is_some() => {
                 // Hilbert rows are already key-ordered: choose the split over

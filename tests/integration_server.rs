@@ -143,7 +143,7 @@ fn server_coalesces_concurrent_client_inserts() {
         Response::Agg { agg, .. } => assert_eq!(agg.count, 400),
         other => panic!("unexpected {other:?}"),
     }
-    assert_eq!(server.metrics.inserts.load(std::sync::atomic::Ordering::Relaxed), 400);
+    assert_eq!(image.obs().registry().sum_counters("volap_server_inserts_total"), 400);
     server.stop();
     worker.stop();
 }
@@ -188,13 +188,17 @@ fn server_metrics_count_operations() {
     for _ in 0..5 {
         ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema);
     }
-    let ins = server.metrics.inserts.load(std::sync::atomic::Ordering::Relaxed);
-    let qs = server.metrics.queries.load(std::sync::atomic::Ordering::Relaxed);
-    let exp = server.metrics.expansions.load(std::sync::atomic::Ordering::Relaxed);
+    let reg = image.obs().registry();
+    let ins = reg.sum_counters("volap_server_inserts_total");
+    let qs = reg.sum_counters("volap_server_queries_total");
+    let exp = reg.sum_counters("volap_server_box_expansions_total");
     assert_eq!(ins, 25);
     assert_eq!(qs, 5);
     assert!((1..=25).contains(&exp), "some early inserts must expand the empty box");
-    assert!(server.metrics.expansion_prob() > 0.0);
+    // The shared insert/query latency histograms saw every operation.
+    let snap = image.obs().snapshot();
+    assert_eq!(snap.histogram("volap_server_insert_seconds").unwrap().count, 25);
+    assert_eq!(snap.histogram("volap_server_query_seconds").unwrap().count, 5);
     server.stop();
     worker.stop();
 }
