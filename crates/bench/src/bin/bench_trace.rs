@@ -1,0 +1,178 @@
+//! Causal-tracing overhead guard, recorded to `BENCH_trace.json`.
+//!
+//! The tracing hot path with sampling disabled is one relaxed load and a
+//! branch per client request, and a sampled request (production rate:
+//! 1-in-64) amortizes its span recording across the 63 untraced ones. This
+//! bench drives ingest and query workloads through one long-lived cluster
+//! while rotating the tracer's runtime sample rate between segments —
+//! off (0), 1-in-64, and always-on (1) — and compares throughput. The
+//! trimmed-mean ingest overhead of 1-in-64 sampling versus off must stay
+//! within tolerance (default 3%, `TRACE_OVERHEAD_TOLERANCE` to override);
+//! the process exits non-zero otherwise. Always-on numbers are recorded
+//! for reference but not gated: tracing every request is a debugging
+//! posture, not a production one.
+//!
+//! Each round runs the three configurations back to back in a rotating
+//! order, so the slow throughput decay from tree growth lands on every
+//! configuration equally and cancels from the trimmed mean.
+//!
+//! `--no-run` skips the timing runs and instead smoke-tests the tracing
+//! pipeline on a tiny cluster: forces sampling on, runs a workload, and
+//! verifies a trace assembles and round-trips through the Perfetto
+//! exporter. Used by CI's bench-smoke step.
+
+use std::time::{Duration, Instant};
+
+use volap::{ClientSession, Cluster, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{Item, QueryBox, Schema};
+use volap_obs::export;
+
+const ITEMS_PER_SEGMENT: usize = 10_000;
+const QUERIES_PER_SEGMENT: usize = 20;
+const ROUNDS: usize = 12; // divisible by 3: each config sits in each slot equally
+const TRIM: usize = 2;
+
+/// `(inserts/s, queries/s)` for one measurement segment.
+fn segment(client: &ClientSession, items: &[Item], q: &QueryBox) -> (f64, f64) {
+    let t = Instant::now();
+    for item in items {
+        client.insert(item).expect("insert");
+    }
+    let ingest_rate = items.len() as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..QUERIES_PER_SEGMENT {
+        client.query(q).expect("query");
+    }
+    let query_rate = QUERIES_PER_SEGMENT as f64 / t.elapsed().as_secs_f64();
+    (ingest_rate, query_rate)
+}
+
+fn trimmed_mean(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let kept = &v[TRIM..v.len() - TRIM];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn smoke() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    cfg.trace_sample = 1;
+    cfg.trace_slow_threshold = Duration::ZERO;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 23, 1.2);
+    client.bulk_insert(gen.items(200)).expect("bulk");
+    client.query(&QueryBox::all(&schema)).expect("query");
+    let slow = cluster.slow_traces();
+    assert!(!slow.is_empty(), "smoke: no trace reached the flight recorder");
+    let assembled = slow
+        .iter()
+        .any(|t| t.root().is_some() && t.spans.iter().any(|s| s.name == "tree_exec"));
+    assert!(assembled, "smoke: no trace with a root and tree_exec spans");
+    let json = export::traces_to_perfetto(&slow);
+    let parsed = export::traces_from_perfetto(&json).expect("smoke: Perfetto parse");
+    assert_eq!(parsed, slow, "smoke: Perfetto round trip lost data");
+    cluster.shutdown();
+    println!(
+        "trace smoke OK: {} trace(s) assembled, Perfetto round trip lossless",
+        parsed.len()
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--no-run") {
+        smoke();
+        return;
+    }
+    let tolerance: f64 = std::env::var("TRACE_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let tracer = cluster.tracer();
+    let q = QueryBox::all(&schema);
+    let mut gen = DataGen::new(&schema, 29, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..2 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q);
+    }
+
+    // sample rates measured: off, production 1-in-64, always-on.
+    const CONFIGS: [u32; 3] = [0, 64, 1];
+    let mut ingest = [Vec::new(), Vec::new(), Vec::new()];
+    let mut query = [Vec::new(), Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for slot in 0..3 {
+            let which = (round + slot) % 3;
+            tracer.set_sample_every(CONFIGS[which]);
+            let (i_rate, q_rate) = segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q);
+            ingest[which].push(i_rate);
+            query[which].push(q_rate);
+        }
+        println!(
+            "round {round:>2}: ingest off {:>7.0}/s  1-in-64 {:>7.0}/s  always {:>7.0}/s",
+            ingest[0][round], ingest[1][round], ingest[2][round]
+        );
+    }
+    tracer.set_sample_every(0);
+    cluster.shutdown();
+
+    let ing = [
+        trimmed_mean(ingest[0].clone()),
+        trimmed_mean(ingest[1].clone()),
+        trimmed_mean(ingest[2].clone()),
+    ];
+    let qry = [
+        trimmed_mean(query[0].clone()),
+        trimmed_mean(query[1].clone()),
+        trimmed_mean(query[2].clone()),
+    ];
+    let ingest_overhead = (ing[0] - ing[1]) / ing[0];
+    let query_overhead = (qry[0] - qry[1]) / qry[0];
+    let always_on_overhead = (ing[0] - ing[2]) / ing[0];
+    let ok = ingest_overhead <= tolerance;
+    println!(
+        "ingest: off {:.0}/s  1-in-64 {:.0}/s  always-on {:.0}/s (trimmed means)",
+        ing[0], ing[1], ing[2]
+    );
+    println!(
+        "query:  off {:.0}/s  1-in-64 {:.0}/s  always-on {:.0}/s (trimmed means)",
+        qry[0], qry[1], qry[2]
+    );
+    println!(
+        "1-in-64 ingest overhead {:.2}% (tolerance {:.0}%) {}",
+        ingest_overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+         \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
+         \"ingest_per_s\": {{\"off\": {:.0}, \"one_in_64\": {:.0}, \"always_on\": {:.0}}},\n  \
+         \"query_per_s\": {{\"off\": {:.0}, \"one_in_64\": {:.0}, \"always_on\": {:.0}}},\n  \
+         \"ingest_overhead_frac_one_in_64\": {ingest_overhead:.4},\n  \
+         \"query_overhead_frac_one_in_64\": {query_overhead:.4},\n  \
+         \"ingest_overhead_frac_always_on\": {always_on_overhead:.4},\n  \
+         \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        ing[0], ing[1], ing[2], qry[0], qry[1], qry[2]
+    );
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!("wrote BENCH_trace.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

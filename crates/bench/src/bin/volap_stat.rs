@@ -5,8 +5,15 @@
 //! it re-parses its own output with `export::from_prometheus` /
 //! `export::from_json` and exits non-zero if either fails to round-trip, if
 //! the latency histograms are empty, or if the measured staleness probe
-//! never recorded a sample. Usage: `volap-stat [--json | --prom]` (default:
-//! human summary + both formats).
+//! never recorded a sample. Usage: `volap-stat [--json | --prom | --traces]`
+//! (default: human summary + both formats).
+//!
+//! `--traces` forces causal tracing on (sample every request, zero slow
+//! threshold), runs the same workload, prints the slow-query flight
+//! recorder as indented span trees, and self-validates the Perfetto
+//! export by parsing it back — exiting non-zero on a malformed or lossy
+//! trace export, on an empty flight recorder, or on a recorded trace
+//! missing its root span.
 
 use std::time::{Duration, Instant};
 
@@ -28,6 +35,10 @@ fn main() {
     cfg.workers = 2;
     cfg.initial_shards_per_worker = 2;
     cfg.sync_period = Duration::from_millis(20);
+    if mode == "--traces" {
+        cfg.trace_sample = 1;
+        cfg.trace_slow_threshold = Duration::ZERO;
+    }
     let cluster = Cluster::start(cfg);
 
     // Mixed workload: item inserts and queries spread over both servers,
@@ -50,7 +61,39 @@ fn main() {
     }
 
     let snap = cluster.snapshot();
+    let slow = cluster.slow_traces();
     cluster.shutdown();
+
+    if mode == "--traces" {
+        // Self-validate the tracing pipeline; CI relies on the exit code.
+        if slow.is_empty() {
+            fail("tracing forced on but the flight recorder is empty");
+        }
+        let perfetto = export::traces_to_perfetto(&slow);
+        let parsed = match export::traces_from_perfetto(&perfetto) {
+            Ok(parsed) => parsed,
+            Err(e) => fail(&format!("Perfetto trace export malformed: {e}")),
+        };
+        if parsed != slow {
+            fail("Perfetto trace export did not round-trip losslessly");
+        }
+        println!(
+            "# volap-stat: slow-query flight recorder ({} trace(s), oldest first)",
+            slow.len()
+        );
+        for trace in &slow {
+            if trace.root().is_none() {
+                fail(&format!("trace {} has no root span", trace.trace_id));
+            }
+            println!("#");
+            println!("# trace {:#018x}", trace.trace_id);
+            for line in trace.render_tree().lines() {
+                println!("#   {line}");
+            }
+        }
+        eprintln!("volap-stat: OK (Perfetto export round-trips)");
+        return;
+    }
 
     // Self-validate before printing anything: CI runs this binary and
     // relies on the exit code.

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use volap_coord::CoordService;
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Network};
-use volap_obs::{Obs, ObsConfig, Snapshot};
+use volap_obs::{Obs, ObsConfig, Snapshot, Trace, TraceConfig, Tracer};
 
 use crate::config::VolapConfig;
 use crate::image::ImageStore;
@@ -48,8 +48,14 @@ impl Cluster {
         let obs = Obs::new(ObsConfig {
             histograms: cfg.obs_histograms,
             event_capacity: cfg.obs_event_capacity,
+            trace: TraceConfig {
+                sample: cfg.trace_sample,
+                slow_threshold: cfg.trace_slow_threshold,
+                ..TraceConfig::default()
+            },
         });
         net.attach_obs(obs.registry());
+        net.attach_tracer(obs.tracer());
         let image = ImageStore::with_obs(coord, cfg.schema.clone(), obs);
         let bootstrap_ep = net.endpoint("bootstrap");
 
@@ -169,6 +175,19 @@ impl Cluster {
     /// staleness distribution. Render it with `volap_obs::export`.
     pub fn snapshot(&self) -> Snapshot {
         self.obs().snapshot()
+    }
+
+    /// The causal tracer: runtime sampling control and span inspection.
+    pub fn tracer(&self) -> &Tracer {
+        self.obs().tracer()
+    }
+
+    /// The slow-query flight recorder: the most recent sampled traces whose
+    /// root span exceeded `VolapConfig::trace_slow_threshold`, oldest
+    /// first. Render one with `Trace::render_tree` or export the lot with
+    /// `volap_obs::export::traces_to_perfetto`.
+    pub fn slow_traces(&self) -> Vec<Trace> {
+        self.obs().tracer().slow_traces()
     }
 
     /// `(splits, migrations)` performed so far by the manager.

@@ -78,6 +78,15 @@ pub struct VolapConfig {
     pub obs_histograms: bool,
     /// Total structured events retained by the observability ring buffer.
     pub obs_event_capacity: usize,
+    /// Head-based causal-tracing sample rate: one in every `trace_sample`
+    /// client requests gets a full cross-component trace (server routing →
+    /// net hops → worker queues → per-shard tree execution). `0` (the
+    /// default) disables tracing entirely — the hot path then costs one
+    /// relaxed load and a branch. `64` is a sensible production-style rate.
+    pub trace_sample: u32,
+    /// Sampled traces whose *root* span takes at least this long enter the
+    /// slow-query flight recorder ([`crate::Cluster::slow_traces`]).
+    pub trace_slow_threshold: Duration,
 }
 
 impl VolapConfig {
@@ -107,6 +116,8 @@ impl VolapConfig {
             ingest_flush_interval: Duration::from_millis(2),
             obs_histograms: true,
             obs_event_capacity: 4096,
+            trace_sample: 0,
+            trace_slow_threshold: Duration::from_millis(100),
         }
     }
 }

@@ -17,7 +17,7 @@ use parking_lot::{Mutex, RwLock};
 use volap_coord::EventKind;
 use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
-use volap_obs::{Counter, Histogram, StalenessProbe};
+use volap_obs::{Counter, Histogram, StalenessProbe, TraceCtx, Tracer};
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord, SHARDS_PREFIX};
@@ -75,6 +75,9 @@ struct ServerState {
     /// client is acknowledged by its shard's bulk outcome.
     ingest: Mutex<Vec<(Item, Incoming)>>,
     obs: ServerObs,
+    /// Causal tracer: client requests are the trace roots (head-based
+    /// sampling happens here; workers inherit the decision).
+    tracer: Tracer,
 }
 
 /// Handle to a running server.
@@ -110,6 +113,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         dirty: Mutex::new(HashMap::new()),
         ingest: Mutex::new(Vec::new()),
         obs: ServerObs::new(image, name),
+        tracer: image.obs().tracer().clone(),
     });
     // Watch before the initial load so no update can slip between them.
     let watch_rx = image.coord().watch_prefix(SHARDS_PREFIX);
@@ -243,6 +247,31 @@ fn reply(msg: &Incoming, resp: Response) {
     let _ = msg.reply(resp.encode());
 }
 
+/// Run one client operation under a (possibly sampled) trace root. When the
+/// head-based sampler picks this request, the whole operation becomes the
+/// `name` root span (annotated with the op and server), the context flows
+/// into `f`, and on completion the tracer decides whether the assembled
+/// trace enters the slow-query flight recorder.
+fn traced_root<R>(
+    st: &Arc<ServerState>,
+    name: &'static str,
+    op: &str,
+    f: impl FnOnce(Option<&TraceCtx>) -> R,
+) -> R {
+    match st.tracer.sample_root() {
+        Some(ctx) => {
+            let mut span = st.tracer.span(&ctx, name);
+            span.annotate("op", op);
+            span.annotate("server", st.name.clone());
+            let out = f(Some(&ctx));
+            let dur = span.finish();
+            st.tracer.complete_root(&ctx, dur);
+            out
+        }
+        None => f(None),
+    }
+}
+
 fn handle(st: &Arc<ServerState>, msg: Incoming) {
     let req = match Request::decode(&msg.payload) {
         Ok(r) => r,
@@ -257,16 +286,17 @@ fn handle(st: &Arc<ServerState>, msg: Incoming) {
             if st.cfg.ingest_batch > 1 {
                 enqueue_ingest(st, item, msg);
             } else {
-                let resp = route_insert(st, &item);
+                let resp = traced_root(st, "server_route", "insert", |t| route_insert(st, &item, t));
                 reply(&msg, resp);
             }
         }
         Request::ClientBulkInsert { items } => {
-            let resp = route_bulk_insert(st, items);
+            let resp =
+                traced_root(st, "server_route", "bulk_insert", |t| route_bulk_insert(st, items, t));
             reply(&msg, resp);
         }
         Request::ClientQuery { query } => {
-            let resp = route_query(st, &query);
+            let resp = traced_root(st, "server_route", "query", |t| route_query(st, &query, t));
             reply(&msg, resp);
         }
         other => reply(&msg, Response::Err(format!("unsupported server request: {other:?}"))),
@@ -290,7 +320,7 @@ fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
     Some(w)
 }
 
-fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
+fn route_insert(st: &Arc<ServerState>, item: &Item, trace: Option<&TraceCtx>) -> Response {
     let _timer = st.obs.insert_seconds.start();
     st.obs.inserts.inc();
     let routed = st.index.write().route_insert(item);
@@ -307,10 +337,11 @@ fn route_insert(st: &Arc<ServerState>, item: &Item) -> Response {
     let Some(dest) = shard_location(st, shard) else {
         return Response::Err(format!("no location for shard {shard}"));
     };
-    match st.endpoint.request(
+    match st.endpoint.request_traced(
         &dest,
         Request::Insert { shard, item: item.clone() }.encode(),
         st.cfg.request_timeout,
+        trace,
     ) {
         Ok(bytes) => Response::decode(&st.schema, &bytes)
             .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
@@ -336,10 +367,19 @@ fn enqueue_ingest(st: &Arc<ServerState>, item: Item, msg: Incoming) {
 /// dirty locks routes every item, then one `BulkInsert` per shard goes out
 /// (all in flight at once), and every buffered client is acknowledged
 /// according to its shard's outcome.
+///
+/// Tracing note: coalesced ingest samples per *flush*, not per client
+/// insert — a sampled flush becomes one `server_ingest_flush` root covering
+/// the whole batch (the documented simplification for the coalesced path).
 fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
     if batch.is_empty() {
         return;
     }
+    let op = format!("ingest_flush batch={}", batch.len());
+    traced_root(st, "server_ingest_flush", &op, |t| flush_ingest_inner(st, batch, t));
+}
+
+fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace: Option<&TraceCtx>) {
     let _timer = st.obs.ingest_flush_seconds.start();
     st.obs.inserts.add(batch.len() as u64);
     let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
@@ -375,7 +415,7 @@ fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
         requests.push((dest, Request::BulkInsert { shard, items }.encode()));
         waiters.push(msgs);
     }
-    let replies = st.endpoint.request_many(&requests, st.cfg.request_timeout);
+    let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
     for ((result, (dest, _)), msgs) in replies.into_iter().zip(&requests).zip(waiters) {
         let resp = match result {
             Ok(bytes) => match Response::decode(&st.schema, &bytes) {
@@ -394,7 +434,7 @@ fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
 
 /// Route a whole batch: one routing pass over the local image, then one
 /// per-(worker, shard) bulk request fan-out.
-fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
+fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>, trace: Option<&TraceCtx>) -> Response {
     if items.is_empty() {
         return Response::Ack;
     }
@@ -428,7 +468,7 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
     }
     for (reply, (dest, _)) in st
         .endpoint
-        .request_many(&requests, st.cfg.request_timeout)
+        .request_many_traced(&requests, st.cfg.request_timeout, trace)
         .into_iter()
         .zip(&requests)
     {
@@ -445,7 +485,7 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>) -> Response {
     Response::Ack
 }
 
-fn route_query(st: &Arc<ServerState>, query: &QueryBox) -> Response {
+fn route_query(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>) -> Response {
     let _timer = st.obs.query_seconds.start();
     st.obs.queries.inc();
     let shard_ids = st.index.read().route_query(query);
@@ -470,7 +510,7 @@ fn route_query(st: &Arc<ServerState>, query: &QueryBox) -> Response {
         .into_iter()
         .map(|(dest, ids)| (dest, Request::Query { shards: ids, query: query.clone() }.encode()))
         .collect();
-    let replies = st.endpoint.request_many(&requests, st.cfg.request_timeout);
+    let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
     let mut agg = Aggregate::empty();
     let mut searched = 0u32;
     for (reply, (dest, _)) in replies.into_iter().zip(&requests) {

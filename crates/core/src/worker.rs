@@ -17,7 +17,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
-use volap_obs::{Counter, Gauge, Histogram};
+use volap_obs::{Counter, Gauge, Histogram, SpanGuard, TraceCtx, Tracer};
 use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
 
 use crate::config::VolapConfig;
@@ -104,6 +104,9 @@ struct WorkerState {
     /// (`None` when `cfg.query_threads == 1`).
     query_pool: Option<rayon::ThreadPool>,
     obs: WorkerObs,
+    /// Causal tracer: workers inherit sampled contexts from envelopes and
+    /// record queue-wait, op, and per-shard execution spans under them.
+    tracer: Tracer,
 }
 
 /// Handle to a running worker: name plus the machinery to stop it.
@@ -151,6 +154,7 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         slots: RwLock::new(HashMap::new()),
         query_pool,
         obs: WorkerObs::new(image, name),
+        tracer: image.obs().tracer().clone(),
     });
     let shutdown = Arc::new(AtomicBool::new(false));
     let mut threads = Vec::new();
@@ -228,6 +232,32 @@ fn reply(msg: &Incoming, resp: Response) {
     let _ = msg.reply(resp.encode());
 }
 
+/// Pick up a propagated trace context from an incoming envelope: records
+/// the `worker_queue` span (the measured time the envelope waited in the
+/// receive queue) as a sibling of the op, then opens the op span itself.
+/// Returns the op's context (children hang off it) and its drop-recording
+/// guard.
+fn rx_trace(
+    st: &Arc<WorkerState>,
+    msg: &Incoming,
+    op: &'static str,
+) -> Option<(TraceCtx, SpanGuard)> {
+    let ctx = msg.trace?;
+    let now = st.tracer.now_us();
+    let queued_us = msg.queued.as_micros().min(u128::from(u64::MAX)) as u64;
+    st.tracer.record_manual(
+        &ctx,
+        "worker_queue",
+        now.saturating_sub(queued_us),
+        now,
+        vec![("worker".into(), st.name.clone())],
+    );
+    let child = st.tracer.child(&ctx);
+    let mut span = st.tracer.span(&child, op);
+    span.annotate("worker", st.name.clone());
+    Some((child, span))
+}
+
 fn handle(st: &Arc<WorkerState>, msg: Incoming) {
     let req = match Request::decode(&msg.payload) {
         Ok(r) => r,
@@ -239,15 +269,21 @@ fn handle(st: &Arc<WorkerState>, msg: Incoming) {
     match req {
         Request::Ping => reply(&msg, Response::Ack),
         Request::Insert { shard, item } => {
-            let resp = local_insert(st, shard, &item, false);
+            let t = rx_trace(st, &msg, "worker_insert");
+            let resp = local_insert(st, shard, &item, false, t.as_ref().map(|(c, _)| c));
+            drop(t);
             reply(&msg, resp);
         }
         Request::BulkInsert { shard, items } => {
-            let resp = local_bulk_insert(st, shard, items);
+            let t = rx_trace(st, &msg, "worker_bulk_insert");
+            let resp = local_bulk_insert(st, shard, items, t.as_ref().map(|(c, _)| c));
+            drop(t);
             reply(&msg, resp);
         }
         Request::Query { shards, query } => {
-            let resp = local_query(st, &shards, &query);
+            let t = rx_trace(st, &msg, "worker_query");
+            let resp = local_query(st, &shards, &query, t.as_ref().map(|(c, _)| c));
+            drop(t);
             reply(&msg, resp);
         }
         Request::SplitShard { shard, left_id, right_id } => {
@@ -283,7 +319,13 @@ fn handle(st: &Arc<WorkerState>, msg: Incoming) {
 
 /// Insert into a local shard, chasing aliases. `via_bulk_drain` suppresses
 /// forwarding loops during queue drains.
-fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain: bool) -> Response {
+fn local_insert(
+    st: &Arc<WorkerState>,
+    shard: u64,
+    item: &Item,
+    _via_bulk_drain: bool,
+    trace: Option<&TraceCtx>,
+) -> Response {
     let _timer = st.obs.insert_seconds.start();
     st.obs.inserts.inc();
     let mut target = shard;
@@ -301,6 +343,18 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
             SlotState::Busy { queue, .. } => {
                 st.obs.queue_inserts.inc();
                 queue.insert(item);
+                // Mark the insertion-queue detour so a trace shows this item
+                // rode out a split/migration in the queue (§III-E).
+                if let Some(ctx) = trace {
+                    let now = st.tracer.now_us();
+                    st.tracer.record_manual(
+                        ctx,
+                        "insertion_queue",
+                        now,
+                        now,
+                        vec![("shard".into(), target.to_string())],
+                    );
+                }
                 return Response::Ack;
             }
             SlotState::SplitInto { left, right, plan } => {
@@ -309,7 +363,12 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
             SlotState::MovedTo { dest } => {
                 let dest = dest.clone();
                 drop(guard);
-                return forward(st, &dest, &Request::Insert { shard: target, item: item.clone() });
+                return forward(
+                    st,
+                    &dest,
+                    &Request::Insert { shard: target, item: item.clone() },
+                    trace,
+                );
             }
         }
     }
@@ -322,7 +381,12 @@ fn local_insert(st: &Arc<WorkerState>, shard: u64, item: &Item, _via_bulk_drain:
 /// call; a split alias partitions the group by its hyperplane into two
 /// child groups; a moved shard forwards its whole group as one
 /// `BulkInsert`.
-fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Response {
+fn local_bulk_insert(
+    st: &Arc<WorkerState>,
+    shard: u64,
+    items: Vec<Item>,
+    trace: Option<&TraceCtx>,
+) -> Response {
     let _timer = st.obs.bulk_insert_seconds.start();
     st.obs.bulk_items.add(items.len() as u64);
     let mut work: Vec<(u64, Vec<Item>, u32)> = vec![(shard, items, 0)];
@@ -348,6 +412,16 @@ fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Res
                 let queue = Arc::clone(queue);
                 drop(guard);
                 st.obs.queue_inserts.add(group.len() as u64);
+                if let Some(ctx) = trace {
+                    let now = st.tracer.now_us();
+                    st.tracer.record_manual(
+                        ctx,
+                        "insertion_queue",
+                        now,
+                        now,
+                        vec![("shard".into(), id.to_string()), ("items".into(), group.len().to_string())],
+                    );
+                }
                 queue.bulk_insert(group);
             }
             SlotState::SplitInto { left, right, plan } => {
@@ -360,7 +434,7 @@ fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Res
                 let dest = dest.clone();
                 drop(guard);
                 if let Response::Err(e) =
-                    forward(st, &dest, &Request::BulkInsert { shard: id, items: group })
+                    forward(st, &dest, &Request::BulkInsert { shard: id, items: group }, trace)
                 {
                     return Response::Err(e);
                 }
@@ -373,6 +447,8 @@ fn local_bulk_insert(st: &Arc<WorkerState>, shard: u64, items: Vec<Item>) -> Res
 /// One local store (plus its in-flight insertion queue, if splitting or
 /// migrating) that a query must scan.
 struct ScanTarget {
+    /// Shard id (trace annotation only).
+    id: u64,
     store: Arc<dyn ShardStore>,
     queue: Option<Arc<dyn ShardStore>>,
 }
@@ -387,9 +463,50 @@ impl ScanTarget {
         }
         agg
     }
+
+    /// [`ScanTarget::query`] recording a `tree_exec` span under `parent`:
+    /// per-shard traversal statistics ([`volap_tree::QueryTrace`]) become
+    /// span annotations. Everything annotated here is a counter the
+    /// traversal produced anyway or an O(1) read — a sampled scan must not
+    /// pay a structure walk (`ShardStore::stats`) the unsampled one skips.
+    fn query_spanned(&self, q: &QueryBox, tracer: &Tracer, parent: &TraceCtx) -> Aggregate {
+        let start = tracer.now_us();
+        let (mut agg, mut qt) = self.store.query_traced(q);
+        if let Some(queue) = &self.queue {
+            let (a, t) = queue.query_traced(q);
+            agg.merge(&a);
+            qt.merge(&t);
+        }
+        let ann = vec![
+            ("shard".into(), self.id.to_string()),
+            ("items".into(), self.store.len().to_string()),
+            ("nodes_visited".into(), qt.nodes_visited.to_string()),
+            ("covered_hits".into(), qt.covered_hits.to_string()),
+            ("items_scanned".into(), qt.items_scanned.to_string()),
+        ];
+        tracer.record_manual(parent, "tree_exec", start, tracer.now_us(), ann);
+        agg
+    }
+
+    fn query_maybe_spanned(
+        &self,
+        q: &QueryBox,
+        tracer: &Tracer,
+        parent: Option<&TraceCtx>,
+    ) -> Aggregate {
+        match parent {
+            Some(ctx) => self.query_spanned(q, tracer, ctx),
+            None => self.query(q),
+        }
+    }
 }
 
-fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Response {
+fn local_query(
+    st: &Arc<WorkerState>,
+    shards: &[u64],
+    query: &QueryBox,
+    trace: Option<&TraceCtx>,
+) -> Response {
     let _timer = st.obs.query_seconds.start();
     st.obs.queries.inc();
     // Phase 1: chase aliases sequentially (cheap pointer work) to resolve
@@ -418,10 +535,11 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
         let guard = slot.state.read();
         match &*guard {
             SlotState::Active { store } => {
-                scans.push(ScanTarget { store: Arc::clone(store), queue: None });
+                scans.push(ScanTarget { id, store: Arc::clone(store), queue: None });
             }
             SlotState::Busy { store, queue } => {
                 scans.push(ScanTarget {
+                    id,
                     store: Arc::clone(store),
                     queue: Some(Arc::clone(queue)),
                 });
@@ -439,6 +557,7 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
     // query pool when there is one and more than one shard to search. Each
     // task aggregates privately and merges once at the end.
     let mut searched = scans.len() as u32;
+    let tracer = &st.tracer;
     let mut agg = match &st.query_pool {
         Some(pool) if scans.len() > 1 => {
             let out = Mutex::new(Aggregate::empty());
@@ -446,7 +565,7 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
                 let out = &out;
                 for t in &scans {
                     s.spawn(move |_| {
-                        let a = t.query(query);
+                        let a = t.query_maybe_spanned(query, tracer, trace);
                         out.lock().merge(&a);
                     });
                 }
@@ -456,13 +575,13 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
         _ => {
             let mut a = Aggregate::empty();
             for t in &scans {
-                a.merge(&t.query(query));
+                a.merge(&t.query_maybe_spanned(query, tracer, trace));
             }
             a
         }
     };
     for (dest, ids) in remote {
-        match forward(st, &dest, &Request::Query { shards: ids, query: query.clone() }) {
+        match forward(st, &dest, &Request::Query { shards: ids, query: query.clone() }, trace) {
             Response::Agg { agg: a, shards_searched } => {
                 agg.merge(&a);
                 searched += shards_searched;
@@ -474,8 +593,13 @@ fn local_query(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Respo
     Response::Agg { agg, shards_searched: searched }
 }
 
-fn forward(st: &Arc<WorkerState>, dest: &str, req: &Request) -> Response {
-    match st.endpoint.request(dest, req.encode(), st.cfg.request_timeout) {
+fn forward(
+    st: &Arc<WorkerState>,
+    dest: &str,
+    req: &Request,
+    trace: Option<&TraceCtx>,
+) -> Response {
+    match st.endpoint.request_traced(dest, req.encode(), st.cfg.request_timeout, trace) {
         Ok(bytes) => Response::decode(&st.schema, &bytes)
             .unwrap_or_else(|e| Response::Err(format!("bad forwarded response: {e}"))),
         Err(e) => Response::Err(format!("forward to {dest} failed: {e}")),
@@ -563,10 +687,19 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
     st.image.merge_shard(&right_rec);
     let _ = st.image.remove_shard(shard);
     st.obs.splits.inc();
+    // Splits are rare enough to afford a structure walk: the parent's shape
+    // at split time (was it deep? leaf-heavy?) is the diagnostic that
+    // explains why the manager chose it.
+    let shape = store
+        .stats()
+        .annotations()
+        .into_iter()
+        .map(|(k, v)| format!(" {k}={v}"))
+        .collect::<String>();
     st.image.obs().events().record(
         "shard_split",
         format!(
-            "worker={} shard={shard} left={left_id}({}) right={right_id}({})",
+            "worker={} shard={shard} left={left_id}({}) right={right_id}({}){shape}",
             st.name, left_rec.len, right_rec.len
         ),
     );
@@ -598,7 +731,7 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
     };
     // Ship the serialized shard.
     let blob = store.serialize();
-    match forward(st, dest, &Request::Adopt { shard, blob }) {
+    match forward(st, dest, &Request::Adopt { shard, blob }, None) {
         Response::Ack => {}
         Response::Err(e) => {
             // Revert: fold the queue back in.
@@ -621,7 +754,9 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
         queued
     };
     if !queued.is_empty() {
-        if let Response::Err(e) = forward(st, dest, &Request::BulkInsert { shard, items: queued }) {
+        if let Response::Err(e) =
+            forward(st, dest, &Request::BulkInsert { shard, items: queued }, None)
+        {
             return Response::Err(format!("queue drain failed: {e}"));
         }
     }

@@ -19,6 +19,15 @@
 //! Replies are demultiplexed by correlation ID straight into the waiting
 //! requester, never through the request queue — exactly the two-socket
 //! pattern the paper describes per thread.
+//!
+//! **Causal tracing** rides on the fabric: an [`Envelope`] carries an
+//! optional [`TraceCtx`] next to its correlation ID, so a sampled request's
+//! identity survives every hop. [`Endpoint::request_traced`] /
+//! [`Endpoint::request_many_traced`] wrap each hop in a `net_hop` span
+//! (once a [`Tracer`] is attached via [`Network::attach_tracer`]), and
+//! [`Incoming`] exposes the propagated context plus the measured time the
+//! envelope spent in the receive queue — the `worker_queue` stage of the
+//! paper's latency breakdown.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
-use volap_obs::{Counter, Histogram, Registry};
+use volap_obs::{Counter, Histogram, Registry, SpanGuard, TraceCtx, Tracer};
 
 /// Fabric-level observability handles, attached once per network (see
 /// [`Network::attach_obs`]). Absent by default so the fabric stays
@@ -41,6 +50,11 @@ struct NetObs {
     requests: Counter,
     /// Requests that timed out waiting for their reply.
     timeouts: Counter,
+    /// Replies that arrived after their requester had already given up
+    /// (timed out and removed its pending entry). Kept distinct from
+    /// `timeouts`: a timeout with no late reply means the peer never
+    /// answered; a timeout *with* one means it answered too slowly.
+    late_replies: Counter,
     /// Request round-trip latency.
     request_seconds: Histogram,
 }
@@ -75,6 +89,11 @@ struct Envelope {
     correlation: u64,
     /// `true` when this is a reply to an outstanding request.
     is_reply: bool,
+    /// Propagated trace context (sampled requests only).
+    trace: Option<TraceCtx>,
+    /// Stamped at delivery into the destination queue, so receive-side
+    /// queue-wait measurements exclude injected wire latency.
+    queued_at: Option<Instant>,
     payload: Vec<u8>,
 }
 
@@ -87,13 +106,23 @@ struct EndpointCore {
 }
 
 impl EndpointCore {
-    fn deliver(&self, env: Envelope) {
+    fn deliver(&self, mut env: Envelope, obs: Option<&NetObs>) {
         if env.is_reply {
-            // Route straight to the requester; drop if it gave up (timeout).
-            if let Some(tx) = self.pending.lock().remove(&env.correlation) {
-                let _ = tx.send(env);
+            // Route straight to the requester. If it already gave up
+            // (timeout removed the pending entry), the reply is *late*:
+            // count it rather than losing the signal silently.
+            match self.pending.lock().remove(&env.correlation) {
+                Some(tx) => {
+                    let _ = tx.send(env);
+                }
+                None => {
+                    if let Some(obs) = obs {
+                        obs.late_replies.inc();
+                    }
+                }
             }
         } else {
+            env.queued_at = Some(Instant::now());
             let _ = self.queue_tx.send(env);
         }
     }
@@ -104,6 +133,7 @@ struct NetworkInner {
     latency: Option<Duration>,
     delay_tx: Mutex<Option<Sender<(Instant, String, Envelope)>>>,
     obs: OnceLock<NetObs>,
+    tracer: OnceLock<Tracer>,
 }
 
 /// The fabric: a registry of endpoints plus the delivery path.
@@ -127,6 +157,7 @@ impl Network {
                 latency: None,
                 delay_tx: Mutex::new(None),
                 obs: OnceLock::new(),
+                tracer: OnceLock::new(),
             }),
         }
     }
@@ -141,6 +172,7 @@ impl Network {
                 latency: Some(latency),
                 delay_tx: Mutex::new(None),
                 obs: OnceLock::new(),
+                tracer: OnceLock::new(),
             }),
         };
         let (tx, rx) = unbounded::<(Instant, String, Envelope)>();
@@ -159,7 +191,7 @@ impl Network {
                     let Some(inner) = weak.upgrade() else { break };
                     let target = inner.endpoints.read().get(&to).cloned();
                     if let Some(core) = target {
-                        core.deliver(env);
+                        core.deliver(env, inner.obs.get());
                     }
                 }
             })
@@ -191,12 +223,23 @@ impl Network {
             bytes: registry.counter("volap_net_bytes_total"),
             requests: registry.counter("volap_net_requests_total"),
             timeouts: registry.counter("volap_net_timeouts_total"),
+            late_replies: registry.counter("volap_net_late_replies_total"),
             request_seconds: registry.histogram("volap_net_request_seconds"),
         });
     }
 
+    /// Attach a causal tracer (idempotent; the first call wins). Until
+    /// attached, `*_traced` calls propagate contexts but record no spans.
+    pub fn attach_tracer(&self, tracer: &Tracer) {
+        let _ = self.inner.tracer.set(tracer.clone());
+    }
+
     fn obs(&self) -> Option<&NetObs> {
         self.inner.obs.get()
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.inner.tracer.get()
     }
 
     /// Remove an endpoint from the registry (messages to it start failing).
@@ -226,7 +269,7 @@ impl Network {
                 tx.send((Instant::now() + lat, to.to_string(), env)).map_err(|_| NetError::Closed)
             }
             _ => {
-                target.deliver(env);
+                target.deliver(env, self.obs());
                 Ok(())
             }
         }
@@ -239,6 +282,11 @@ pub struct Incoming {
     pub from: String,
     /// Correlation ID (echoed in the reply).
     pub correlation: u64,
+    /// Propagated trace context, when the sender's request was sampled.
+    pub trace: Option<TraceCtx>,
+    /// Time this envelope spent in the receive queue before `recv` picked
+    /// it up (excludes injected wire latency) — the `worker_queue` stage.
+    pub queued: Duration,
     /// Message body.
     pub payload: Vec<u8>,
     net: Network,
@@ -246,6 +294,18 @@ pub struct Incoming {
 }
 
 impl Incoming {
+    fn from_env(env: Envelope, net: Network, to_name: String) -> Self {
+        Incoming {
+            from: env.from,
+            correlation: env.correlation,
+            trace: env.trace,
+            queued: env.queued_at.map(|t| t.elapsed()).unwrap_or_default(),
+            payload: env.payload,
+            net,
+            to_name,
+        }
+    }
+
     /// Send a reply back to the requester.
     pub fn reply(&self, payload: Vec<u8>) -> Result<(), NetError> {
         self.net.route(
@@ -254,6 +314,8 @@ impl Incoming {
                 from: self.to_name.clone(),
                 correlation: self.correlation,
                 is_reply: true,
+                trace: None,
+                queued_at: None,
                 payload,
             },
         )
@@ -281,27 +343,69 @@ impl Endpoint {
 
     /// Fire-and-forget send (correlation 0).
     pub fn send(&self, to: &str, payload: Vec<u8>) -> Result<(), NetError> {
+        self.send_traced(to, payload, None)
+    }
+
+    /// Fire-and-forget send carrying a trace context (used to keep
+    /// causality across one-way hops, e.g. shard handoff notifications).
+    pub fn send_traced(
+        &self,
+        to: &str,
+        payload: Vec<u8>,
+        trace: Option<TraceCtx>,
+    ) -> Result<(), NetError> {
         self.net.route(
             to,
-            Envelope { from: self.core.name.clone(), correlation: 0, is_reply: false, payload },
+            Envelope {
+                from: self.core.name.clone(),
+                correlation: 0,
+                is_reply: false,
+                trace,
+                queued_at: None,
+                payload,
+            },
         )
     }
 
     /// Send a request and block for the correlated reply.
     pub fn request(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, NetError> {
+        self.request_traced(to, payload, timeout, None)
+    }
+
+    /// [`Endpoint::request`] under a trace: when `parent` is set and a
+    /// tracer is attached, the hop gets a child context (propagated in the
+    /// envelope) and records a `net_hop` span covering the round trip.
+    pub fn request_traced(
+        &self,
+        to: &str,
+        payload: Vec<u8>,
+        timeout: Duration,
+        parent: Option<&TraceCtx>,
+    ) -> Result<Vec<u8>, NetError> {
         let _timer = self.net.obs().map(|o| {
             o.requests.inc();
             o.request_seconds.start()
         });
+        let (hop_ctx, mut hop_span) = self.hop_span(parent, to);
         let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.core.pending.lock().insert(corr, tx);
         let sent = self.net.route(
             to,
-            Envelope { from: self.core.name.clone(), correlation: corr, is_reply: false, payload },
+            Envelope {
+                from: self.core.name.clone(),
+                correlation: corr,
+                is_reply: false,
+                trace: hop_ctx,
+                queued_at: None,
+                payload,
+            },
         );
         if let Err(e) = sent {
             self.core.pending.lock().remove(&corr);
+            if let Some(span) = hop_span.as_mut() {
+                span.annotate("error", e.to_string());
+            }
             return Err(e);
         }
         match rx.recv_timeout(timeout) {
@@ -311,8 +415,29 @@ impl Endpoint {
                 if let Some(obs) = self.net.obs() {
                     obs.timeouts.inc();
                 }
+                if let Some(span) = hop_span.as_mut() {
+                    span.annotate("error", "timeout");
+                }
                 Err(NetError::Timeout)
             }
+        }
+    }
+
+    /// Child context + `net_hop` span for one traced hop, when both a
+    /// parent context and a tracer are present.
+    fn hop_span(
+        &self,
+        parent: Option<&TraceCtx>,
+        dest: &str,
+    ) -> (Option<TraceCtx>, Option<SpanGuard>) {
+        match (parent, self.net.tracer()) {
+            (Some(parent), Some(tracer)) => {
+                let ctx = tracer.child(parent);
+                let mut span = tracer.span(&ctx, "net_hop");
+                span.annotate("dest", dest);
+                (Some(ctx), Some(span))
+            }
+            (parent, _) => (parent.copied(), None),
         }
     }
 
@@ -324,6 +449,19 @@ impl Endpoint {
         &self,
         requests: &[(String, Vec<u8>)],
         timeout: Duration,
+    ) -> Vec<Result<Vec<u8>, NetError>> {
+        self.request_many_traced(requests, timeout, None)
+    }
+
+    /// [`Endpoint::request_many`] under a trace: each fan-out leg gets its
+    /// own child context and `net_hop` span, closed as its reply arrives
+    /// (stragglers close at the deadline with an `error` annotation), so an
+    /// assembled trace shows exactly which worker a scatter waited on.
+    pub fn request_many_traced(
+        &self,
+        requests: &[(String, Vec<u8>)],
+        timeout: Duration,
+        parent: Option<&TraceCtx>,
     ) -> Vec<Result<Vec<u8>, NetError>> {
         if requests.is_empty() {
             return Vec::new();
@@ -337,6 +475,7 @@ impl Endpoint {
         let mut corr_to_idx = HashMap::with_capacity(n);
         let mut results: Vec<Result<Vec<u8>, NetError>> =
             (0..n).map(|_| Err(NetError::Timeout)).collect();
+        let mut hop_spans: Vec<Option<SpanGuard>> = (0..n).map(|_| None).collect();
         let mut outstanding = 0usize;
         // Reserve a contiguous correlation block and register every entry
         // under a single pending-lock acquisition — one lock round per
@@ -351,12 +490,16 @@ impl Endpoint {
         }
         for (i, (to, payload)) in requests.iter().enumerate() {
             let corr = base + i as u64;
+            let (hop_ctx, hop_span) = self.hop_span(parent, to);
+            hop_spans[i] = hop_span;
             let sent = self.net.route(
                 to,
                 Envelope {
                     from: self.core.name.clone(),
                     correlation: corr,
                     is_reply: false,
+                    trace: hop_ctx,
+                    queued_at: None,
                     payload: payload.clone(),
                 },
             );
@@ -367,6 +510,10 @@ impl Endpoint {
                 }
                 Err(e) => {
                     self.core.pending.lock().remove(&corr);
+                    if let Some(span) = hop_spans[i].as_mut() {
+                        span.annotate("error", e.to_string());
+                    }
+                    hop_spans[i] = None; // record the failed hop now
                     results[i] = Err(e);
                 }
             }
@@ -381,6 +528,7 @@ impl Endpoint {
                 Ok(env) => {
                     if let Some(&i) = corr_to_idx.get(&env.correlation) {
                         results[i] = Ok(env.payload);
+                        hop_spans[i] = None; // close this leg's span
                         outstanding -= 1;
                     }
                 }
@@ -396,20 +544,28 @@ impl Endpoint {
             for &corr in corr_to_idx.keys() {
                 pending.remove(&corr);
             }
+            for (i, span) in hop_spans.iter_mut().enumerate() {
+                if let Some(span) = span.as_mut() {
+                    if results[i].is_err() {
+                        span.annotate("error", "timeout");
+                    }
+                }
+            }
         }
         results
+    }
+
+    /// Number of correlations still registered awaiting replies. Exposed so
+    /// tests (and leak checks) can assert the pending map drains after
+    /// timeouts instead of accumulating dead entries.
+    pub fn pending_len(&self) -> usize {
+        self.core.pending.lock().len()
     }
 
     /// Block for the next incoming request (not replies), up to `timeout`.
     pub fn recv(&self, timeout: Duration) -> Result<Incoming, NetError> {
         match self.core.queue_rx.recv_timeout(timeout) {
-            Ok(env) => Ok(Incoming {
-                from: env.from,
-                correlation: env.correlation,
-                payload: env.payload,
-                net: self.net.clone(),
-                to_name: self.core.name.clone(),
-            }),
+            Ok(env) => Ok(Incoming::from_env(env, self.net.clone(), self.core.name.clone())),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
         }
@@ -417,13 +573,11 @@ impl Endpoint {
 
     /// Non-blocking variant of [`Endpoint::recv`].
     pub fn try_recv(&self) -> Option<Incoming> {
-        self.core.queue_rx.try_recv().ok().map(|env| Incoming {
-            from: env.from,
-            correlation: env.correlation,
-            payload: env.payload,
-            net: self.net.clone(),
-            to_name: self.core.name.clone(),
-        })
+        self.core
+            .queue_rx
+            .try_recv()
+            .ok()
+            .map(|env| Incoming::from_env(env, self.net.clone(), self.core.name.clone()))
     }
 
     /// Number of queued (unconsumed) requests.
@@ -592,6 +746,151 @@ mod tests {
         let net = Network::new();
         let client = net.endpoint("client");
         assert!(client.request_many(&[], Duration::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn timeout_removes_pending_entry_and_late_reply_is_counted() {
+        let net = Network::new();
+        let reg = Registry::new(true);
+        net.attach_obs(&reg);
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        // Regression: a timed-out request must not leak its correlation.
+        let err = client.request("server", b"slow".to_vec(), Duration::from_millis(30)).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert_eq!(client.pending_len(), 0, "timeout must remove the pending entry");
+        // The server answers *after* the client gave up: the late reply is
+        // counted, not silently dropped, and must not resurrect the entry.
+        let req = server.recv(Duration::from_secs(1)).unwrap();
+        req.reply(b"too late".to_vec()).unwrap();
+        assert_eq!(reg.counter("volap_net_late_replies_total").get(), 1);
+        assert_eq!(client.pending_len(), 0);
+        assert!(client.try_recv().is_none(), "late reply must not enter the request queue");
+        // A fresh request still works (correlation space is unpoisoned).
+        let h = thread::spawn(move || {
+            let req = server.recv(Duration::from_secs(2)).unwrap();
+            req.reply(b"ok".to_vec()).unwrap();
+        });
+        assert_eq!(client.request("server", vec![], Duration::from_secs(2)).unwrap(), b"ok");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn request_many_timeout_drains_pending_and_counts_late_replies() {
+        let net = Network::new();
+        let reg = Registry::new(true);
+        net.attach_obs(&reg);
+        let client = net.endpoint("client");
+        let fast = net.endpoint("fast");
+        let slow = net.endpoint("slow");
+        let h = thread::spawn(move || {
+            let req = fast.recv(Duration::from_secs(2)).unwrap();
+            req.reply(b"ok".to_vec()).unwrap();
+        });
+        let reqs = vec![
+            ("fast".to_string(), vec![1]),
+            ("slow".to_string(), vec![2]),
+            ("missing".to_string(), vec![3]),
+        ];
+        let replies = client.request_many(&reqs, Duration::from_millis(100));
+        h.join().unwrap();
+        assert_eq!(replies[0].as_ref().unwrap(), b"ok");
+        assert_eq!(replies[1], Err(NetError::Timeout));
+        assert!(matches!(replies[2], Err(NetError::UnknownEndpoint(_))));
+        assert_eq!(
+            client.pending_len(),
+            0,
+            "every leg — replied, timed out, and route-failed — must be cleaned up"
+        );
+        // The slow worker answers after the gather returned.
+        let req = slow.recv(Duration::from_secs(1)).unwrap();
+        req.reply(b"late".to_vec()).unwrap();
+        assert_eq!(reg.counter("volap_net_late_replies_total").get(), 1);
+    }
+
+    #[test]
+    fn trace_ctx_propagates_and_hops_record_spans() {
+        use volap_obs::{TraceConfig, Tracer};
+        let net = Network::new();
+        let tracer = Tracer::new(TraceConfig { sample: 1, ..TraceConfig::default() });
+        net.attach_tracer(&tracer);
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        let root = tracer.sample_root().unwrap();
+        let h = thread::spawn(move || {
+            let req = server.recv(Duration::from_secs(2)).unwrap();
+            let ctx = req.trace.expect("context must propagate in the envelope");
+            req.reply(b"ok".to_vec()).unwrap();
+            ctx
+        });
+        let reply = client
+            .request_traced("server", b"ping".to_vec(), Duration::from_secs(2), Some(&root))
+            .unwrap();
+        assert_eq!(reply, b"ok");
+        let seen = h.join().unwrap();
+        assert_eq!(seen.trace_id, root.trace_id);
+        assert_eq!(seen.parent_span_id, root.span_id, "hop is a child of the root");
+        let trace = tracer.assemble(root.trace_id).expect("hop span recorded");
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "net_hop");
+        assert_eq!(trace.spans[0].annotation("dest"), Some("server"));
+        // Untraced requests stay contextless even with a tracer attached.
+        let h2 = thread::spawn({
+            let server2 = net.endpoint("server2");
+            move || {
+                let req = server2.recv(Duration::from_secs(2)).unwrap();
+                assert!(req.trace.is_none());
+                req.reply(vec![]).unwrap();
+            }
+        });
+        client.request("server2", vec![], Duration::from_secs(2)).unwrap();
+        h2.join().unwrap();
+    }
+
+    #[test]
+    fn request_many_traced_spans_every_leg() {
+        use volap_obs::{TraceConfig, Tracer};
+        let net = Network::new();
+        let tracer = Tracer::new(TraceConfig { sample: 1, ..TraceConfig::default() });
+        net.attach_tracer(&tracer);
+        let client = net.endpoint("client");
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let server = net.endpoint(format!("s{i}"));
+            handles.push(thread::spawn(move || {
+                let req = server.recv(Duration::from_secs(2)).unwrap();
+                let ctx = req.trace.expect("fan-out leg carries a context");
+                req.reply(vec![]).unwrap();
+                ctx
+            }));
+        }
+        let root = tracer.sample_root().unwrap();
+        let reqs: Vec<(String, Vec<u8>)> = (0..3).map(|i| (format!("s{i}"), vec![i])).collect();
+        let replies = client.request_many_traced(&reqs, Duration::from_secs(2), Some(&root));
+        assert!(replies.iter().all(Result::is_ok));
+        let mut leg_spans = std::collections::HashSet::new();
+        for h in handles {
+            let ctx = h.join().unwrap();
+            assert_eq!(ctx.trace_id, root.trace_id);
+            assert_eq!(ctx.parent_span_id, root.span_id);
+            leg_spans.insert(ctx.span_id);
+        }
+        assert_eq!(leg_spans.len(), 3, "every leg gets its own span id");
+        let trace = tracer.assemble(root.trace_id).unwrap();
+        let hops: Vec<_> = trace.spans.iter().filter(|s| s.name == "net_hop").collect();
+        assert_eq!(hops.len(), 3);
+        assert!(hops.iter().all(|s| s.parent_span_id == root.span_id));
+    }
+
+    #[test]
+    fn queue_wait_is_measured() {
+        let net = Network::new();
+        let a = net.endpoint("a");
+        let b = net.endpoint("b");
+        a.send("b", vec![1]).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let msg = b.recv(Duration::from_secs(1)).unwrap();
+        assert!(msg.queued >= Duration::from_millis(15), "queue wait {:?}", msg.queued);
     }
 
     #[test]

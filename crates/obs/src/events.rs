@@ -27,6 +27,12 @@ thread_local! {
         Cell::new(NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed));
 }
 
+/// This thread's cached ordinal — shared with the span collector so both
+/// rings shard writers the same way.
+pub(crate) fn thread_ordinal() -> usize {
+    THREAD_ORDINAL.with(|o| o.get())
+}
+
 /// One recorded event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
@@ -74,7 +80,7 @@ impl EventLog {
         let inner = &*self.inner;
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
         let ts_us = inner.epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        let slot = THREAD_ORDINAL.with(|o| o.get()) % SHARDS;
+        let slot = thread_ordinal() % SHARDS;
         let mut ring = inner.shards[slot].lock().unwrap();
         if ring.len() >= inner.cap_per_shard {
             ring.pop_front();

@@ -10,6 +10,7 @@ use crate::events::Event;
 use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
 use crate::snapshot::Snapshot;
 use crate::staleness::StalenessSnapshot;
+use crate::trace::{SpanRecord, Trace};
 
 // ---------------------------------------------------------------------------
 // Prometheus text exposition
@@ -616,6 +617,100 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
     Ok(snap)
 }
 
+// ---------------------------------------------------------------------------
+// Chrome/Perfetto trace_event JSON
+// ---------------------------------------------------------------------------
+
+/// Render traces in the Chrome/Perfetto `trace_event` JSON format: one
+/// complete (`"ph": "X"`) event per span, timestamps and durations in
+/// microseconds. Load the output in `ui.perfetto.dev` or
+/// `chrome://tracing`. Trace and span identity (trace/span/parent ids and
+/// the raw annotations) ride in each event's `args`, so the export is
+/// **lossless**: [`traces_from_perfetto`] recovers the exact input.
+pub fn traces_to_perfetto(traces: &[Trace]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    let mut first = true;
+    for trace in traces {
+        for s in &trace.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ann: Vec<String> = s
+                .annotations
+                .iter()
+                .map(|(k, v)| format!("[\"{}\",\"{}\"]", json_escape(k), json_escape(v)))
+                .collect();
+            out.push_str(&format!(
+                "\n  {{\"ph\": \"X\", \"name\": \"{}\", \"ts\": {}, \"dur\": {}, \
+                 \"pid\": {}, \"tid\": {}, \"args\": {{\"trace_id\": {}, \"span_id\": {}, \
+                 \"parent_span_id\": {}, \"end_us\": {}, \"ann\": [{}]}}}}",
+                json_escape(&s.name),
+                s.start_us,
+                s.duration_us(),
+                s.trace_id,
+                s.span_id,
+                s.trace_id,
+                s.span_id,
+                s.parent_span_id,
+                s.end_us,
+                ann.join(",")
+            ));
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parse Perfetto JSON produced by [`traces_to_perfetto`] back into traces,
+/// grouped by `trace_id` in first-seen order. Any malformed or non-`X`
+/// event is an error — this is the validator `volap-stat --traces` and CI
+/// run over exported traces.
+pub fn traces_from_perfetto(text: &str) -> Result<Vec<Trace>, String> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after JSON at {}", parser.pos));
+    }
+    let mut traces: Vec<Trace> = Vec::new();
+    for ev in root.get("traceEvents")?.arr()? {
+        let ph = ev.get("ph")?.str()?;
+        if ph != "X" {
+            return Err(format!("unsupported event phase {ph:?}"));
+        }
+        let args = ev.get("args")?;
+        let mut annotations = Vec::new();
+        for pair in args.get("ann")?.arr()? {
+            let kv = pair.arr()?;
+            if kv.len() != 2 {
+                return Err("annotation must be a [key, value] pair".into());
+            }
+            annotations.push((kv[0].str()?.to_string(), kv[1].str()?.to_string()));
+        }
+        let start_us: u64 = ev.get("ts")?.num()?;
+        let dur: u64 = ev.get("dur")?.num()?;
+        let end_us: u64 = args.get("end_us")?.num()?;
+        if end_us.saturating_sub(start_us) != dur {
+            return Err(format!("dur {dur} disagrees with ts {start_us}..{end_us}"));
+        }
+        let span = SpanRecord {
+            trace_id: args.get("trace_id")?.num()?,
+            span_id: args.get("span_id")?.num()?,
+            parent_span_id: args.get("parent_span_id")?.num()?,
+            name: ev.get("name")?.str()?.to_string(),
+            start_us,
+            end_us,
+            annotations,
+        };
+        match traces.iter_mut().find(|t| t.trace_id == span.trace_id) {
+            Some(t) => t.spans.push(span),
+            None => traces.push(Trace { trace_id: span.trace_id, spans: vec![span] }),
+        }
+    }
+    Ok(traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -671,5 +766,64 @@ mod tests {
         assert!(from_json("{").is_err());
         assert!(from_json("{}").is_err(), "missing keys");
         assert!(from_json(&(to_json(&sample_snapshot()) + "x")).is_err(), "trailing bytes");
+    }
+
+    fn sample_traces() -> Vec<Trace> {
+        vec![
+            Trace {
+                trace_id: 7,
+                spans: vec![
+                    SpanRecord {
+                        trace_id: 7,
+                        span_id: 1,
+                        parent_span_id: 0,
+                        name: "server_route".into(),
+                        start_us: 10,
+                        end_us: 90,
+                        annotations: vec![("server".into(), "s0".into())],
+                    },
+                    SpanRecord {
+                        trace_id: 7,
+                        span_id: 2,
+                        parent_span_id: 1,
+                        name: "net_hop".into(),
+                        start_us: 12,
+                        end_us: 80,
+                        annotations: vec![("dest".into(), "w \"quoted\"\n1".into())],
+                    },
+                ],
+            },
+            Trace {
+                trace_id: 9,
+                spans: vec![SpanRecord {
+                    trace_id: 9,
+                    span_id: 3,
+                    parent_span_id: 0,
+                    name: "op".into(),
+                    start_us: 100,
+                    end_us: 100,
+                    annotations: Vec::new(),
+                }],
+            },
+        ]
+    }
+
+    #[test]
+    fn perfetto_round_trip_is_lossless() {
+        let traces = sample_traces();
+        let text = traces_to_perfetto(&traces);
+        let back = traces_from_perfetto(&text).unwrap();
+        assert_eq!(back, traces);
+    }
+
+    #[test]
+    fn malformed_perfetto_is_rejected() {
+        assert!(traces_from_perfetto("{").is_err());
+        assert!(traces_from_perfetto("{\"traceEvents\": [{\"ph\": \"B\"}]}").is_err());
+        let good = traces_to_perfetto(&sample_traces());
+        assert!(traces_from_perfetto(&(good.clone() + "x")).is_err(), "trailing bytes");
+        // A corrupted duration must not pass the dur/ts consistency check.
+        let bad = good.replace("\"dur\": 80", "\"dur\": 81");
+        assert!(traces_from_perfetto(&bad).is_err());
     }
 }

@@ -31,6 +31,7 @@ pub mod export;
 pub mod registry;
 pub mod snapshot;
 pub mod staleness;
+pub mod trace;
 
 pub use events::{Event, EventLog};
 pub use registry::{
@@ -39,6 +40,7 @@ pub use registry::{
 };
 pub use snapshot::Snapshot;
 pub use staleness::{StalenessProbe, StalenessSnapshot};
+pub use trace::{SpanGuard, SpanRecord, Trace, TraceConfig, TraceCtx, Tracer};
 
 /// Sizing and switches for one [`Obs`] instance.
 #[derive(Clone, Debug)]
@@ -48,11 +50,14 @@ pub struct ObsConfig {
     pub histograms: bool,
     /// Total events retained across the ring shards.
     pub event_capacity: usize,
+    /// Causal-tracing sizing and sampling (the `VolapConfig::trace_sample` /
+    /// `trace_slow_threshold` knobs upstream).
+    pub trace: TraceConfig,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        Self { histograms: true, event_capacity: 4096 }
+        Self { histograms: true, event_capacity: 4096, trace: TraceConfig::default() }
     }
 }
 
@@ -63,6 +68,7 @@ pub struct Obs {
     registry: Registry,
     events: EventLog,
     staleness: StalenessProbe,
+    tracer: Tracer,
 }
 
 impl Default for Obs {
@@ -76,7 +82,12 @@ impl Obs {
     pub fn new(cfg: ObsConfig) -> Self {
         let registry = Registry::new(cfg.histograms);
         let staleness = StalenessProbe::new(registry.histogram("volap_staleness_seconds"));
-        Self { registry, events: EventLog::new(cfg.event_capacity), staleness }
+        Self {
+            registry,
+            events: EventLog::new(cfg.event_capacity),
+            staleness,
+            tracer: Tracer::new(cfg.trace),
+        }
     }
 
     /// The metrics registry.
@@ -92,6 +103,11 @@ impl Obs {
     /// The staleness probe.
     pub fn staleness(&self) -> &StalenessProbe {
         &self.staleness
+    }
+
+    /// The causal tracer (span collector + slow-query flight recorder).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// One coherent snapshot of metrics, events, and measured staleness.
@@ -135,7 +151,7 @@ mod tests {
 
     #[test]
     fn histograms_knob_disables_recording() {
-        let obs = Obs::new(ObsConfig { histograms: false, event_capacity: 64 });
+        let obs = Obs::new(ObsConfig { histograms: false, event_capacity: 64, ..ObsConfig::default() });
         let h = obs.registry().histogram("volap_h_seconds");
         h.observe_ns(5);
         assert_eq!(h.count(), 0);

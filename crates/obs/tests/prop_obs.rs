@@ -111,7 +111,7 @@ proptest! {
     /// for every drop.
     #[test]
     fn event_log_is_bounded_and_ordered(n in 0usize..2000, cap in 16usize..256) {
-        let obs = Obs::new(ObsConfig { histograms: true, event_capacity: cap });
+        let obs = Obs::new(ObsConfig { histograms: true, event_capacity: cap, ..ObsConfig::default() });
         for i in 0..n {
             obs.events().record("e", format!("i={i}"));
         }
@@ -122,6 +122,50 @@ proptest! {
             prop_assert!(w[0].seq < w[1].seq, "sequence order preserved");
         }
     }
+}
+
+/// Event-ring eviction under contention: many writers overflowing a small
+/// `obs_event_capacity` must keep the *global* sequencing monotone (and
+/// collision-free) and must account for every single drop — what a
+/// snapshot retains plus what it admits to dropping equals exactly what
+/// was recorded, even while eviction races recording on every shard.
+#[test]
+fn event_ring_eviction_under_contention_is_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 2_000;
+    // Far below the workload: 128 events total → 8 per shard, so eviction
+    // runs continuously on every shard.
+    let obs = Obs::new(ObsConfig { histograms: true, event_capacity: 128, ..ObsConfig::default() });
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let events = obs.events().clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    events.record("hammer", format!("t={t} i={i}"));
+                }
+            });
+        }
+    });
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(obs.events().recorded(), total, "every record counted");
+    let snapshot = obs.events().snapshot();
+    assert!(!snapshot.is_empty(), "overflow must not evict everything");
+    assert!(snapshot.len() <= 128, "capacity bound held under contention");
+    assert_eq!(
+        snapshot.len() as u64 + obs.events().dropped(),
+        total,
+        "retained + dropped = recorded exactly"
+    );
+    // Global sequencing stays monotone and collision-free across shards.
+    let seqs: Vec<u64> = snapshot.iter().map(|e| e.seq).collect();
+    for w in seqs.windows(2) {
+        assert!(w[0] < w[1], "seq strictly increasing: {} then {}", w[0], w[1]);
+    }
+    assert!(seqs.iter().all(|&s| s < total), "seq values within the issued range");
+    // Eviction drops oldest-first per shard, so what survives skews recent:
+    // every shard's retained run must be a suffix of what that thread wrote.
+    let max_seq = *seqs.iter().max().unwrap();
+    assert!(max_seq >= total - 128, "newest events survive eviction");
 }
 
 /// A cloned histogram handle observes into the same series (handles are

@@ -120,6 +120,19 @@ pub struct StoreStats {
     pub node_splits: u64,
 }
 
+impl StoreStats {
+    /// These statistics as trace-span `key:value` annotations — what a
+    /// `tree_exec` span reports about the structure it scanned.
+    pub fn annotations(&self) -> Vec<(String, String)> {
+        vec![
+            ("items".into(), self.items.to_string()),
+            ("dirs".into(), self.dirs.to_string()),
+            ("leaves".into(), self.leaves.to_string()),
+            ("height".into(), self.height.to_string()),
+        ]
+    }
+}
+
 /// Object-safe facade over any shard variant. This is the interface the
 /// worker layer programs against, including the three load-balancing
 /// operations of §III-E (`split_query`, `split`, `serialize`).
