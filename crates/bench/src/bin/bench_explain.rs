@@ -1,0 +1,185 @@
+//! Query-introspection overhead guard, recorded to `BENCH_explain.json`.
+//!
+//! The introspection subsystem must be pay-for-use: a query that nobody is
+//! ANALYZE-ing pays exactly one extra branch per shard touch (the heat-map
+//! enabled check), nothing more. This bench drives ingest and query
+//! workloads through one long-lived cluster while rotating between three
+//! postures — heat tracking off (baseline), heat tracking on with plain
+//! queries (the production default), and heat tracking on with ANALYZE'd
+//! queries (the debugging posture, measured for reference). The trimmed-mean
+//! plain-query throughput with heat on must stay within tolerance of the
+//! baseline (default 1%, `EXPLAIN_OVERHEAD_TOLERANCE` to override); the
+//! process exits non-zero otherwise.
+//!
+//! Each round runs the three postures back to back in a rotating order, so
+//! the slow throughput decay from tree growth lands on every posture
+//! equally and cancels from the trimmed mean.
+//!
+//! `--no-run` skips the timing runs and instead smoke-tests the plan
+//! pipeline on a tiny cluster: runs a workload, ANALYZEs a query, and
+//! verifies the assembled plan is internally consistent and round-trips
+//! through both encodings. Used by CI's bench-smoke step.
+
+use std::time::Instant;
+
+use volap::{ClientSession, Cluster, QueryPlan, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{Item, QueryBox, Schema};
+
+const ITEMS_PER_SEGMENT: usize = 10_000;
+const QUERIES_PER_SEGMENT: usize = 40;
+const ROUNDS: usize = 12; // divisible by 3: each posture sits in each slot equally
+const TRIM: usize = 2;
+
+/// `(inserts/s, queries/s)` for one measurement segment. `analyze` swaps
+/// the query loop to the ANALYZE'd path.
+fn segment(client: &ClientSession, items: &[Item], q: &QueryBox, analyze: bool) -> (f64, f64) {
+    let t = Instant::now();
+    for item in items {
+        client.insert(item).expect("insert");
+    }
+    let ingest_rate = items.len() as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..QUERIES_PER_SEGMENT {
+        if analyze {
+            client.query_analyze(q).expect("analyze");
+        } else {
+            client.query(q).expect("query");
+        }
+    }
+    let query_rate = QUERIES_PER_SEGMENT as f64 / t.elapsed().as_secs_f64();
+    (ingest_rate, query_rate)
+}
+
+fn trimmed_mean(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let kept = &v[TRIM..v.len() - TRIM];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn smoke() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 31, 1.2);
+    client.bulk_insert(gen.items(500)).expect("bulk");
+    let q = QueryBox::all(&schema);
+    let (agg, _) = client.query(&q).expect("query");
+    let (a_agg, shards, plan) = client.query_analyze(&q).expect("analyze");
+    assert_eq!(a_agg.count, agg.count, "smoke: ANALYZE changed the aggregate");
+    assert_eq!(shards as usize, plan.executed_shards().len(), "smoke: plan shard count");
+    assert!(plan.totals().nodes_visited > 0, "smoke: plan carries traversal counters");
+    assert_eq!(
+        QueryPlan::decode(&plan.encode()).expect("smoke: binary decode"),
+        plan,
+        "smoke: binary round trip lost data"
+    );
+    assert_eq!(
+        QueryPlan::from_json(&plan.to_json()).expect("smoke: JSON parse"),
+        plan,
+        "smoke: JSON round trip lost data"
+    );
+    cluster.shutdown();
+    println!(
+        "explain smoke OK: plan over {shards} shard(s) assembled, both encodings lossless"
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--no-run") {
+        smoke();
+        return;
+    }
+    let tolerance: f64 = std::env::var("EXPLAIN_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let heat = cluster.obs().heat().clone();
+    let q = QueryBox::all(&schema);
+    let mut gen = DataGen::new(&schema, 37, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..2 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q, false);
+    }
+
+    // Postures: (heat enabled, analyze queries).
+    const CONFIGS: [(bool, bool); 3] = [(false, false), (true, false), (true, true)];
+    let mut ingest = [Vec::new(), Vec::new(), Vec::new()];
+    let mut query = [Vec::new(), Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for slot in 0..3 {
+            let which = (round + slot) % 3;
+            let (heat_on, analyze) = CONFIGS[which];
+            heat.set_enabled(heat_on);
+            let (i_rate, q_rate) = segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q, analyze);
+            ingest[which].push(i_rate);
+            query[which].push(q_rate);
+        }
+        println!(
+            "round {round:>2}: query off {:>7.0}/s  heat-on {:>7.0}/s  analyze {:>7.0}/s",
+            query[0][round], query[1][round], query[2][round]
+        );
+    }
+    heat.set_enabled(true);
+    cluster.shutdown();
+
+    let ing = [
+        trimmed_mean(ingest[0].clone()),
+        trimmed_mean(ingest[1].clone()),
+        trimmed_mean(ingest[2].clone()),
+    ];
+    let qry = [
+        trimmed_mean(query[0].clone()),
+        trimmed_mean(query[1].clone()),
+        trimmed_mean(query[2].clone()),
+    ];
+    let query_overhead = (qry[0] - qry[1]) / qry[0];
+    let ingest_overhead = (ing[0] - ing[1]) / ing[0];
+    let analyze_overhead = (qry[0] - qry[2]) / qry[0];
+    let ok = query_overhead <= tolerance;
+    println!(
+        "query:  off {:.0}/s  heat-on {:.0}/s  analyze {:.0}/s (trimmed means)",
+        qry[0], qry[1], qry[2]
+    );
+    println!(
+        "ingest: off {:.0}/s  heat-on {:.0}/s  analyze-segment {:.0}/s (trimmed means)",
+        ing[0], ing[1], ing[2]
+    );
+    println!(
+        "ANALYZE-off query overhead {:.2}% (tolerance {:.0}%) {}",
+        query_overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"explain_overhead\",\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+         \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
+         \"query_per_s\": {{\"heat_off\": {:.0}, \"heat_on\": {:.0}, \"analyze\": {:.0}}},\n  \
+         \"ingest_per_s\": {{\"heat_off\": {:.0}, \"heat_on\": {:.0}, \"analyze_segment\": {:.0}}},\n  \
+         \"query_overhead_frac_heat_on\": {query_overhead:.4},\n  \
+         \"ingest_overhead_frac_heat_on\": {ingest_overhead:.4},\n  \
+         \"query_overhead_frac_analyze\": {analyze_overhead:.4},\n  \
+         \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        qry[0], qry[1], qry[2], ing[0], ing[1], ing[2]
+    );
+    std::fs::write("BENCH_explain.json", &json).expect("write BENCH_explain.json");
+    println!("wrote BENCH_explain.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

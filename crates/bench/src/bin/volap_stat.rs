@@ -5,7 +5,8 @@
 //! it re-parses its own output with `export::from_prometheus` /
 //! `export::from_json` and exits non-zero if either fails to round-trip, if
 //! the latency histograms are empty, or if the measured staleness probe
-//! never recorded a sample. Usage: `volap-stat [--json | --prom | --traces]`
+//! never recorded a sample. Usage:
+//! `volap-stat [--json | --prom | --traces | --heat | --snapshot]`
 //! (default: human summary + both formats).
 //!
 //! `--traces` forces causal tracing on (sample every request, zero slow
@@ -14,6 +15,15 @@
 //! export by parsing it back — exiting non-zero on a malformed or lossy
 //! trace export, on an empty flight recorder, or on a recorded trace
 //! missing its root span.
+//!
+//! `--heat` prints the per-shard heat map as a table and exits non-zero
+//! unless every workload insert is accounted for in the published totals.
+//!
+//! `--snapshot` shrinks the split threshold so the manager acts during the
+//! workload, then emits ONE machine-readable JSON document combining the
+//! metrics registry, the event ring, the shard heat map, and the balance
+//! audit trail — exiting non-zero if the document fails to re-parse, if
+//! the heat map is empty, or if no balance decision was audited.
 
 use std::time::{Duration, Instant};
 
@@ -39,6 +49,12 @@ fn main() {
         cfg.trace_sample = 1;
         cfg.trace_slow_threshold = Duration::ZERO;
     }
+    if mode == "--snapshot" {
+        // Make the manager act within the workload so the snapshot carries
+        // a real audit trail: split threshold far below the item count.
+        cfg.max_shard_items = 500;
+        cfg.manager_period = Duration::from_millis(25);
+    }
     let cluster = Cluster::start(cfg);
 
     // Mixed workload: item inserts and queries spread over both servers,
@@ -58,6 +74,25 @@ fn main() {
     let deadline = Instant::now() + Duration::from_secs(10);
     while cluster.obs().staleness().count() == 0 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
+    }
+    if mode == "--heat" {
+        // The stats threads publish heat once per period; wait until every
+        // workload insert is visible in the published totals. (Exact totals
+        // hold because nothing splits under the default threshold.)
+        while cluster.heatmap().iter().map(|e| e.inserts_total).sum::<u64>() < 4_000
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    if mode == "--snapshot" {
+        // Splits reset the per-shard totals, so only require that heat was
+        // published and at least one manager decision was audited.
+        while (cluster.heatmap().is_empty() || cluster.balance_audit().is_empty())
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     let snap = cluster.snapshot();
@@ -125,6 +160,45 @@ fn main() {
     match mode.as_str() {
         "--prom" => print!("{prom}"),
         "--json" => println!("{json}"),
+        "--heat" => {
+            if snap.heat.is_empty() {
+                fail("heat map is empty after the workload");
+            }
+            let inserts: u64 = snap.heat.iter().map(|e| e.inserts_total).sum();
+            if inserts != 4_000 {
+                fail(&format!("heat insert totals {inserts} do not account for the 4000-insert workload"));
+            }
+            println!("# volap-stat: per-shard heat ({} shards)", snap.heat.len());
+            println!(
+                "# {:>6} {:<10} {:>7} {:>9} {:>9} {:>10} {:>10} {:>8}",
+                "shard", "worker", "items", "inserts", "queries", "ins/s", "qry/s", "vol"
+            );
+            for e in &snap.heat {
+                println!(
+                    "# {:>6} {:<10} {:>7} {:>9} {:>9} {:>10.1} {:>10.1} {:>8.4}",
+                    e.shard,
+                    e.worker,
+                    e.items,
+                    e.inserts_total,
+                    e.queries_total,
+                    e.insert_rate,
+                    e.query_rate,
+                    e.volume_frac,
+                );
+            }
+        }
+        "--snapshot" => {
+            if snap.heat.is_empty() {
+                fail("snapshot carries no heat entries");
+            }
+            if snap.audit.is_empty() {
+                fail("snapshot carries no balance-audit records (manager never acted)");
+            }
+            if !snap.audit.iter().any(|d| d.action == "split" && d.outcome == "ok") {
+                fail("no successful split decision in the audit trail");
+            }
+            println!("{json}");
+        }
         _ => {
             println!("# volap-stat: cluster snapshot (2 servers, 4 shards, mixed workload)");
             println!("#");

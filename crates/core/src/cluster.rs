@@ -48,6 +48,8 @@ impl Cluster {
         let obs = Obs::new(ObsConfig {
             histograms: cfg.obs_histograms,
             event_capacity: cfg.obs_event_capacity,
+            heat_enabled: cfg.heat_enabled,
+            audit_capacity: cfg.audit_capacity,
             trace: TraceConfig {
                 sample: cfg.trace_sample,
                 slow_threshold: cfg.trace_slow_threshold,
@@ -180,6 +182,21 @@ impl Cluster {
     /// The causal tracer: runtime sampling control and span inspection.
     pub fn tracer(&self) -> &Tracer {
         self.obs().tracer()
+    }
+
+    /// The per-shard heat map: EWMA insert/query rates and box volumes
+    /// published by worker stats threads, ordered by shard id. Empty when
+    /// `VolapConfig::heat_enabled` is off (or until the first stats period
+    /// elapses).
+    pub fn heatmap(&self) -> Vec<volap_obs::HeatEntry> {
+        self.obs().heat().snapshot()
+    }
+
+    /// The load-balance audit trail: every manager decision (split,
+    /// migration, orphan reap) with the inputs that drove it, sequence
+    /// ordered, bounded by `VolapConfig::audit_capacity`.
+    pub fn balance_audit(&self) -> Vec<volap_obs::BalanceDecision> {
+        self.obs().audit().snapshot()
     }
 
     /// The slow-query flight recorder: the most recent sampled traces whose
@@ -322,6 +339,29 @@ impl ClientSession {
             .map_err(|e| e.to_string())?;
         match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
             Response::Agg { agg, shards_searched } => Ok((agg, shards_searched)),
+            Response::Err(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// [`ClientSession::query`] with EXPLAIN/ANALYZE: the same aggregate,
+    /// plus the assembled [`crate::QueryPlan`] describing exactly how the
+    /// query executed — which image leaves the server's routing index
+    /// matched (and the image generation/staleness at that moment), and for
+    /// every contacted worker the alias chases, parallel fan-out, and
+    /// per-shard traversal counters. The non-analyzed path is untouched:
+    /// introspection cost is paid only by this call.
+    pub fn query_analyze(&self, q: &QueryBox) -> Result<(Aggregate, u32, crate::QueryPlan), String> {
+        let bytes = self
+            .endpoint
+            .request(
+                &self.server,
+                Request::ClientQueryAnalyze { query: q.clone() }.encode(),
+                self.timeout,
+            )
+            .map_err(|e| e.to_string())?;
+        match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
+            Response::AggPlan { agg, shards_searched, plan } => Ok((agg, shards_searched, plan)),
             Response::Err(e) => Err(e),
             other => Err(format!("unexpected response: {other:?}")),
         }

@@ -78,6 +78,18 @@ pub struct VolapConfig {
     pub obs_histograms: bool,
     /// Total structured events retained by the observability ring buffer.
     pub obs_event_capacity: usize,
+    /// Whether workers track per-shard heat (EWMA insert/query rates,
+    /// surfaced via `Cluster::heatmap()` and `volap-stat --heat`). On, the
+    /// hot path pays one relaxed load, a branch, and a relaxed increment
+    /// per touched shard; off, just the load and branch. Runtime-togglable
+    /// through `Obs::heat().set_enabled(..)`.
+    pub heat_enabled: bool,
+    /// Half-life of the heat EWMAs: after this long with no activity a
+    /// shard's measured rate decays to half. Shorter reacts faster;
+    /// longer smooths bursts.
+    pub heat_halflife: Duration,
+    /// Total load-balance decisions retained by the audit ring buffer.
+    pub audit_capacity: usize,
     /// Head-based causal-tracing sample rate: one in every `trace_sample`
     /// client requests gets a full cross-component trace (server routing →
     /// net hops → worker queues → per-shard tree execution). `0` (the
@@ -116,6 +128,9 @@ impl VolapConfig {
             ingest_flush_interval: Duration::from_millis(2),
             obs_histograms: true,
             obs_event_capacity: 4096,
+            heat_enabled: true,
+            heat_halflife: Duration::from_secs(2),
+            audit_capacity: 1024,
             trace_sample: 0,
             trace_slow_threshold: Duration::from_millis(100),
         }

@@ -114,6 +114,13 @@ impl ImageStore {
         &self.obs
     }
 
+    /// The global image generation: total mutations (merges + removals)
+    /// applied to shard records. Monotonic; ANALYZE plans stamp it so a
+    /// plan's routing decision can be ordered against image churn.
+    pub fn generation(&self) -> u64 {
+        self.merges.get() + self.removes.get()
+    }
+
     /// Allocate `n` consecutive fresh shard IDs (CAS loop on the counter).
     pub fn alloc_ids(&self, n: u64) -> std::ops::Range<u64> {
         loop {

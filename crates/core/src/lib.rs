@@ -53,6 +53,7 @@ pub mod config;
 pub mod freshness;
 pub mod image;
 pub mod manager;
+pub mod plan;
 pub mod proto;
 pub mod server;
 pub mod server_index;
@@ -65,6 +66,7 @@ pub use config::VolapConfig;
 pub use freshness::FreshnessSim;
 pub use image::{ImageStore, ShardRecord};
 pub use manager::{balance_round, BalanceStats, ManagerHandle};
+pub use plan::{QueryPlan, ShardExec, WorkerExec};
 pub use proto::{Request, Response};
 pub use server::ServerHandle;
 pub use server_index::ServerIndex;

@@ -17,9 +17,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use volap_net::{Endpoint, Network};
-use volap_obs::{Counter, Histogram, Obs};
+use volap_obs::{BalanceDecision, Counter, Histogram, Obs};
 
 use crate::config::VolapConfig;
 use crate::image::ImageStore;
@@ -112,16 +113,42 @@ pub fn balance_round(
     if workers.is_empty() {
         return;
     }
+    let audit = image.obs().audit();
+    // One heat snapshot per round: the EWMA rates become decision inputs so
+    // the audit trail explains *why* a shard was picked, not just that it
+    // was over threshold.
+    let heat: HashMap<u64, (f64, f64)> = image
+        .obs()
+        .heat()
+        .snapshot()
+        .into_iter()
+        .map(|e| (e.shard, (e.insert_rate, e.query_rate)))
+        .collect();
 
     // Phase 0: drop records of shards stranded on dead workers (VOLAP has
     // no replication; the record removal restores routing for the rest).
     for rec in &shards {
-        if !workers.iter().any(|w| w == &rec.worker) && image.remove_shard(rec.id).is_ok() {
-            stats.orphans_removed.inc();
-            image
-                .obs()
-                .events()
-                .record("orphan_reap", format!("shard={} worker={}", rec.id, rec.worker));
+        if !workers.iter().any(|w| w == &rec.worker) {
+            let t0 = Instant::now();
+            if image.remove_shard(rec.id).is_ok() {
+                stats.orphans_removed.inc();
+                image
+                    .obs()
+                    .events()
+                    .record("orphan_reap", format!("shard={} worker={}", rec.id, rec.worker));
+                audit.record(BalanceDecision {
+                    action: "orphan_reap".into(),
+                    shard: rec.id,
+                    src: rec.worker.clone(),
+                    inputs: vec![
+                        ("reason".into(), "worker session expired".into()),
+                        ("len".into(), rec.len.to_string()),
+                    ],
+                    outcome: "ok".into(),
+                    duration_us: elapsed_us(t0),
+                    ..Default::default()
+                });
+            }
         }
     }
     let shards = image.shards();
@@ -135,15 +162,34 @@ pub fn balance_round(
                 left_id: ids.start,
                 right_id: ids.start + 1,
             };
-            if let Ok(bytes) = endpoint.request(&rec.worker, req.encode(), cfg.request_timeout) {
-                if matches!(Response::decode(&cfg.schema, &bytes), Ok(Response::SplitDone { .. })) {
-                    stats.splits.inc();
-                    image.obs().events().record(
-                        "manager_split",
-                        format!("shard={} worker={} len={}", rec.id, rec.worker, rec.len),
-                    );
-                }
+            let t0 = Instant::now();
+            let ok = endpoint
+                .request(&rec.worker, req.encode(), cfg.request_timeout)
+                .ok()
+                .and_then(|bytes| Response::decode(&cfg.schema, &bytes).ok())
+                .is_some_and(|r| matches!(r, Response::SplitDone { .. }));
+            if ok {
+                stats.splits.inc();
+                image.obs().events().record(
+                    "manager_split",
+                    format!("shard={} worker={} len={}", rec.id, rec.worker, rec.len),
+                );
             }
+            let mut inputs = vec![
+                ("len".into(), rec.len.to_string()),
+                ("max_shard_items".into(), cfg.max_shard_items.to_string()),
+            ];
+            push_heat_inputs(&mut inputs, &heat, rec.id);
+            audit.record(BalanceDecision {
+                action: "split".into(),
+                shard: rec.id,
+                src: rec.worker.clone(),
+                inputs,
+                result_shards: vec![ids.start, ids.start + 1],
+                outcome: if ok { "ok".into() } else { "split_failed".into() },
+                duration_us: elapsed_us(t0),
+                ..Default::default()
+            });
         }
     }
 
@@ -184,6 +230,7 @@ pub fn balance_round(
             break;
         };
         let req = Request::Migrate { shard, dest: dst.to_string() };
+        let t0 = Instant::now();
         let ok = endpoint
             .request(src, req.encode(), cfg.request_timeout)
             .ok()
@@ -203,5 +250,40 @@ pub fn balance_round(
             rest.push((shard, len));
         }
         by_worker.insert(src, rest);
+        let mut inputs = vec![
+            ("src_load".into(), src_load.to_string()),
+            ("dst_load".into(), dst_load.to_string()),
+            ("mean".into(), format!("{mean:.1}")),
+            ("hi".into(), format!("{hi:.1}")),
+            ("lo".into(), format!("{lo:.1}")),
+            ("gap".into(), gap.to_string()),
+            ("len".into(), len.to_string()),
+        ];
+        push_heat_inputs(&mut inputs, &heat, shard);
+        audit.record(BalanceDecision {
+            action: "migrate".into(),
+            shard,
+            src: src.to_string(),
+            dest: dst.to_string(),
+            inputs,
+            result_shards: vec![shard],
+            outcome: if ok { "ok".into() } else { "migrate_failed".into() },
+            duration_us: elapsed_us(t0),
+            ..Default::default()
+        });
+    }
+}
+
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Append a shard's EWMA rates to a decision's inputs, when the heat map
+/// has an entry for it (it may not: heat disabled, or the shard is younger
+/// than one stats period).
+fn push_heat_inputs(inputs: &mut Vec<(String, String)>, heat: &HashMap<u64, (f64, f64)>, shard: u64) {
+    if let Some(&(ir, qr)) = heat.get(&shard) {
+        inputs.push(("insert_rate".into(), format!("{ir:.3}")));
+        inputs.push(("query_rate".into(), format!("{qr:.3}")));
     }
 }

@@ -5,6 +5,7 @@ use bytes::{Buf, BufMut};
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 
 use crate::image::ShardRecord;
+use crate::plan::{QueryPlan, WorkerExec};
 use crate::wire::{self, WireError};
 
 /// A request message.
@@ -71,6 +72,22 @@ pub enum Request {
         /// The query box.
         query: QueryBox,
     },
+    /// Server: client-facing ANALYZE'd query — same aggregate, plus the
+    /// assembled [`QueryPlan`]. A separate variant (not a flag on
+    /// [`Request::ClientQuery`]) so the non-introspected path stays
+    /// untouched.
+    ClientQueryAnalyze {
+        /// The query box.
+        query: QueryBox,
+    },
+    /// Worker: like [`Request::Query`] but returning per-shard execution
+    /// stats ([`WorkerExec`]) alongside the aggregate.
+    QueryAnalyze {
+        /// Shards to search.
+        shards: Vec<u64>,
+        /// The query box.
+        query: QueryBox,
+    },
     /// Worker: report per-shard statistics.
     GetWorkerStats,
     /// Liveness probe.
@@ -101,6 +118,26 @@ pub enum Response {
         /// One record per local shard.
         shards: Vec<ShardRecord>,
     },
+    /// Aggregate result with the assembled query plan (server → client,
+    /// answers [`Request::ClientQueryAnalyze`]).
+    AggPlan {
+        /// The aggregate.
+        agg: Aggregate,
+        /// How many shards were searched.
+        shards_searched: u32,
+        /// The assembled execution plan.
+        plan: QueryPlan,
+    },
+    /// Aggregate result with this worker's execution stats (worker →
+    /// server, answers [`Request::QueryAnalyze`]).
+    AggExec {
+        /// The aggregate.
+        agg: Aggregate,
+        /// How many shards were searched.
+        shards_searched: u32,
+        /// The worker-side execution record.
+        exec: WorkerExec,
+    },
     /// Failure with explanation.
     Err(String),
 }
@@ -116,12 +153,16 @@ const T_CQUERY: u8 = 8;
 const T_STATS: u8 = 9;
 const T_PING: u8 = 10;
 const T_CBULK: u8 = 11;
+const T_CANALYZE: u8 = 12;
+const T_QANALYZE: u8 = 13;
 
 const R_ACK: u8 = 101;
 const R_AGG: u8 = 102;
 const R_SPLIT: u8 = 103;
 const R_WSTATS: u8 = 104;
 const R_ERR: u8 = 105;
+const R_AGGPLAN: u8 = 106;
+const R_AGGEXEC: u8 = 107;
 
 /// Exact wire size of one item (see `wire::put_item`).
 fn item_wire_len(dims: usize) -> usize {
@@ -192,6 +233,18 @@ impl Request {
             }
             Request::ClientQuery { query } => {
                 buf.put_u8(T_CQUERY);
+                wire::put_query(&mut buf, query);
+            }
+            Request::ClientQueryAnalyze { query } => {
+                buf.put_u8(T_CANALYZE);
+                wire::put_query(&mut buf, query);
+            }
+            Request::QueryAnalyze { shards, query } => {
+                buf.put_u8(T_QANALYZE);
+                buf.put_u32(shards.len() as u32);
+                for s in shards {
+                    buf.put_u64(*s);
+                }
                 wire::put_query(&mut buf, query);
             }
             Request::GetWorkerStats => buf.put_u8(T_STATS),
@@ -266,6 +319,18 @@ impl Request {
                 Request::ClientBulkInsert { items }
             }
             T_CQUERY => Request::ClientQuery { query: wire::get_query(buf)? },
+            T_CANALYZE => Request::ClientQueryAnalyze { query: wire::get_query(buf)? },
+            T_QANALYZE => {
+                if buf.len() < 4 {
+                    return Err("truncated analyze query".into());
+                }
+                let n = buf.get_u32() as usize;
+                if buf.len() < n * 8 {
+                    return Err("truncated analyze shard list".into());
+                }
+                let shards = (0..n).map(|_| buf.get_u64()).collect();
+                Request::QueryAnalyze { shards, query: wire::get_query(buf)? }
+            }
             T_STATS => Request::GetWorkerStats,
             T_PING => Request::Ping,
             other => return Err(format!("unknown request tag {other}")),
@@ -295,6 +360,18 @@ impl Response {
                 for s in shards {
                     wire::put_bytes(&mut buf, &s.encode());
                 }
+            }
+            Response::AggPlan { agg, shards_searched, plan } => {
+                buf.put_u8(R_AGGPLAN);
+                wire::put_agg(&mut buf, agg);
+                buf.put_u32(*shards_searched);
+                plan.encode_into(&mut buf);
+            }
+            Response::AggExec { agg, shards_searched, exec } => {
+                buf.put_u8(R_AGGEXEC);
+                wire::put_agg(&mut buf, agg);
+                buf.put_u32(*shards_searched);
+                exec.encode_into(&mut buf);
             }
             Response::Err(msg) => {
                 buf.put_u8(R_ERR);
@@ -335,6 +412,22 @@ impl Response {
                     .collect::<Result<_, _>>()?;
                 Response::WorkerStats { shards }
             }
+            R_AGGPLAN => {
+                let agg = wire::get_agg(buf)?;
+                if buf.len() < 4 {
+                    return Err("truncated agg-plan response".into());
+                }
+                let shards_searched = buf.get_u32();
+                Response::AggPlan { agg, shards_searched, plan: QueryPlan::decode_from(buf)? }
+            }
+            R_AGGEXEC => {
+                let agg = wire::get_agg(buf)?;
+                if buf.len() < 4 {
+                    return Err("truncated agg-exec response".into());
+                }
+                let shards_searched = buf.get_u32();
+                Response::AggExec { agg, shards_searched, exec: WorkerExec::decode_from(buf)? }
+            }
             R_ERR => Response::Err(wire::get_str(buf)?),
             other => return Err(format!("unknown response tag {other}")),
         })
@@ -370,6 +463,11 @@ mod tests {
                 items: vec![Item::new(vec![1, 1], 2.0), Item::new(vec![2, 2], 3.0)],
             },
             Request::ClientQuery { query: QueryBox::from_ranges(vec![(0, 63), (0, 63)]) },
+            Request::ClientQueryAnalyze { query: QueryBox::from_ranges(vec![(1, 9), (0, 63)]) },
+            Request::QueryAnalyze {
+                shards: vec![5, 6],
+                query: QueryBox::from_ranges(vec![(0, 5), (1, 63)]),
+            },
             Request::GetWorkerStats,
             Request::Ping,
         ];
@@ -385,11 +483,40 @@ mod tests {
         let mut mbr = Mbr::empty(&s);
         mbr.extend_item(&s, &Item::new(vec![2, 3], 1.0));
         let rec = |id: u64| ShardRecord { id, worker: format!("w{id}"), len: id * 10, mbr: mbr.clone() };
+        let exec = WorkerExec {
+            worker: "worker-1".into(),
+            requested: vec![5, 6],
+            alias_chases: 1,
+            fanout: 2,
+            wall_us: 120,
+            shards: vec![crate::plan::ShardExec {
+                shard: 5,
+                items: 10,
+                nodes_visited: 4,
+                covered_hits: 1,
+                items_scanned: 6,
+                pruned: 2,
+                wall_us: 30,
+            }],
+            forwards: vec![WorkerExec { worker: "worker-2".into(), ..Default::default() }],
+        };
+        let plan = QueryPlan {
+            server: "server-0".into(),
+            image_generation: 9,
+            staleness_samples: 2,
+            staleness_p95_us: 700,
+            image_leaves: vec![5, 6],
+            route_us: 3,
+            wall_us: 200,
+            workers: vec![exec.clone()],
+        };
         let resps = vec![
             Response::Ack,
             Response::Agg { agg: Aggregate::of(4.0), shards_searched: 17 },
             Response::SplitDone { left: rec(1), right: rec(2) },
             Response::WorkerStats { shards: vec![rec(5), rec(6)] },
+            Response::AggPlan { agg: Aggregate::of(2.0), shards_searched: 2, plan },
+            Response::AggExec { agg: Aggregate::of(3.0), shards_searched: 1, exec },
             Response::Err("boom".into()),
         ];
         for r in resps {

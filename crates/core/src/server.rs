@@ -8,10 +8,10 @@
 //! staleness analyzed in §IV-F.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use volap_coord::EventKind;
@@ -21,6 +21,7 @@ use volap_obs::{Counter, Histogram, StalenessProbe, TraceCtx, Tracer};
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord, SHARDS_PREFIX};
+use crate::plan::QueryPlan;
 use crate::proto::{Request, Response};
 use crate::server_index::ServerIndex;
 
@@ -74,6 +75,11 @@ struct ServerState {
     /// `cfg.ingest_batch > 1`): each entry keeps its reply handle so the
     /// client is acknowledged by its shard's bulk outcome.
     ingest: Mutex<Vec<(Item, Incoming)>>,
+    /// This server's local image generation: image records applied (at
+    /// bootstrap or via watch events). ANALYZE plans and `route_miss`
+    /// events stamp it so routing decisions can be ordered against image
+    /// churn and joined to staleness-probe data.
+    generation: AtomicU64,
     obs: ServerObs,
     /// Causal tracer: client requests are the trace roots (head-based
     /// sampling happens here; workers inherit the decision).
@@ -112,6 +118,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         locations: RwLock::new(HashMap::new()),
         dirty: Mutex::new(HashMap::new()),
         ingest: Mutex::new(Vec::new()),
+        generation: AtomicU64::new(0),
         obs: ServerObs::new(image, name),
         tracer: image.obs().tracer().clone(),
     });
@@ -187,6 +194,7 @@ fn bootstrap(st: &Arc<ServerState>) {
             index.add_shard(rec.id, rec.mbr.clone());
         }
         locations.insert(rec.id, rec.worker);
+        st.generation.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -233,6 +241,7 @@ fn apply_event(st: &Arc<ServerState>, path: &str, kind: EventKind) {
                 if !rec.worker.is_empty() {
                     st.locations.write().insert(id, rec.worker);
                 }
+                st.generation.fetch_add(1, Ordering::Relaxed);
                 st.obs.image_applies.inc();
                 // Staleness probe: this server's local image now reflects
                 // the shard's published box (self-applies are ignored by
@@ -299,6 +308,12 @@ fn handle(st: &Arc<ServerState>, msg: Incoming) {
             let resp = traced_root(st, "server_route", "query", |t| route_query(st, &query, t));
             reply(&msg, resp);
         }
+        Request::ClientQueryAnalyze { query } => {
+            let resp = traced_root(st, "server_route", "query_analyze", |t| {
+                route_query_analyzed(st, &query, t)
+            });
+            reply(&msg, resp);
+        }
         other => reply(&msg, Response::Err(format!("unsupported server request: {other:?}"))),
     }
 }
@@ -311,10 +326,15 @@ fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
     }
     // Local map is stale: fall back to the global image.
     st.obs.route_misses.inc();
-    st.image
-        .obs()
-        .events()
-        .record("route_miss", format!("server={} shard={shard}", st.name));
+    st.image.obs().events().record(
+        "route_miss",
+        format!(
+            "server={} shard={shard} gen={} image_gen={}",
+            st.name,
+            st.generation.load(Ordering::Relaxed),
+            st.image.generation()
+        ),
+    );
     let w = st.image.shard(shard).map(|r| r.worker).filter(|w| !w.is_empty())?;
     st.locations.write().insert(shard, w.clone());
     Some(w)
@@ -529,4 +549,75 @@ fn route_query(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>
         }
     }
     Response::Agg { agg, shards_searched: searched }
+}
+
+/// The ANALYZE'd counterpart of [`route_query`]: same routing, same
+/// scatter/gather, but the routing decision is recorded — the exact image
+/// leaves matched, the image generation and measured staleness *at decision
+/// time* — and workers are asked for per-shard execution stats, assembled
+/// here into one [`QueryPlan`] returned alongside the aggregate.
+fn route_query_analyzed(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>) -> Response {
+    let wall = Instant::now();
+    let _timer = st.obs.query_seconds.start();
+    st.obs.queries.inc();
+    // Stamp the decision context *before* routing so the plan reflects what
+    // the server knew when it chose.
+    let image_generation = st.generation.load(Ordering::Relaxed);
+    let staleness = st.obs.staleness.snapshot();
+    let route_start = Instant::now();
+    let mut shard_ids = st.index.read().route_query(query);
+    let route_us = route_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    shard_ids.sort_unstable();
+    let mut plan = QueryPlan {
+        server: st.name.clone(),
+        image_generation,
+        staleness_samples: staleness.count,
+        staleness_p95_us: (staleness.quantile(0.95) * 1e6) as u64,
+        image_leaves: shard_ids.clone(),
+        route_us,
+        wall_us: 0,
+        workers: Vec::new(),
+    };
+    if shard_ids.is_empty() {
+        plan.wall_us = wall.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        return Response::AggPlan { agg: Aggregate::empty(), shards_searched: 0, plan };
+    }
+    let mut by_worker: HashMap<String, Vec<u64>> = HashMap::new();
+    {
+        let locations = st.locations.read();
+        for &id in &shard_ids {
+            match locations.get(&id) {
+                Some(w) => by_worker.entry(w.clone()).or_default().push(id),
+                None => continue, // stale: shard disappeared between index and map
+            }
+        }
+    }
+    let requests: Vec<(String, Vec<u8>)> = by_worker
+        .into_iter()
+        .map(|(dest, ids)| {
+            (dest, Request::QueryAnalyze { shards: ids, query: query.clone() }.encode())
+        })
+        .collect();
+    let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
+    let mut agg = Aggregate::empty();
+    let mut searched = 0u32;
+    for (reply, (dest, _)) in replies.into_iter().zip(&requests) {
+        let resp = match reply {
+            Ok(bytes) => Response::decode(&st.schema, &bytes)
+                .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
+            Err(e) => Response::Err(format!("query to {dest} failed: {e}")),
+        };
+        match resp {
+            Response::AggExec { agg: a, shards_searched, exec } => {
+                agg.merge(&a);
+                searched += shards_searched;
+                plan.workers.push(exec);
+            }
+            Response::Err(e) => return Response::Err(e),
+            _ => return Response::Err("unexpected worker response".into()),
+        }
+    }
+    plan.workers.sort_by(|a, b| a.worker.cmp(&b.worker));
+    plan.wall_us = wall.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    Response::AggPlan { agg, shards_searched: searched, plan }
 }

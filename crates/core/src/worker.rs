@@ -9,19 +9,20 @@
 //! two halves; after a migration it forwards to the destination worker.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
-use volap_dims::{Aggregate, Item, QueryBox, Schema};
+use volap_dims::{Aggregate, Item, Key, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
-use volap_obs::{Counter, Gauge, Histogram, SpanGuard, TraceCtx, Tracer};
+use volap_obs::{Counter, Gauge, HeatEntry, HeatMap, Histogram, RateEwma, SpanGuard, TraceCtx, Tracer};
 use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord};
+use crate::plan::{ShardExec, WorkerExec};
 use crate::proto::{Request, Response};
 
 /// Observability handles registered once at spawn. Counters and gauges are
@@ -89,8 +90,33 @@ enum SlotState {
     MovedTo { dest: String },
 }
 
+/// Per-shard activity counters bumped on the hot path — relaxed atomics,
+/// gated behind [`HeatMap::enabled`] so a disabled heat map costs one load
+/// and a branch. The stats publisher folds the deltas into EWMA rates.
+#[derive(Default)]
+struct SlotHeat {
+    inserts: AtomicU64,
+    queries: AtomicU64,
+}
+
 struct Slot {
     state: RwLock<SlotState>,
+    heat: SlotHeat,
+}
+
+impl Slot {
+    fn new(state: SlotState) -> Arc<Self> {
+        Arc::new(Self { state: RwLock::new(state), heat: SlotHeat::default() })
+    }
+}
+
+/// EWMA state the stats thread keeps per shard between publishes.
+struct HeatTrack {
+    last: Instant,
+    prev_inserts: u64,
+    prev_queries: u64,
+    insert_rate: RateEwma,
+    query_rate: RateEwma,
 }
 
 struct WorkerState {
@@ -103,6 +129,10 @@ struct WorkerState {
     /// Pool for fanning one query's local shard scans out in parallel
     /// (`None` when `cfg.query_threads == 1`).
     query_pool: Option<rayon::ThreadPool>,
+    /// Cluster-wide heat view this worker publishes into.
+    heat: HeatMap,
+    /// Per-shard EWMA state, touched only by the stats thread.
+    heat_track: Mutex<HashMap<u64, HeatTrack>>,
     obs: WorkerObs,
     /// Causal tracer: workers inherit sampled contexts from envelopes and
     /// record queue-wait, op, and per-shard execution spans under them.
@@ -153,6 +183,8 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         image: image.clone(),
         slots: RwLock::new(HashMap::new()),
         query_pool,
+        heat: image.obs().heat().clone(),
+        heat_track: Mutex::new(HashMap::new()),
         obs: WorkerObs::new(image, name),
         tracer: image.obs().tracer().clone(),
     });
@@ -197,6 +229,7 @@ fn publish_stats(st: &WorkerState) {
     let slots: Vec<(u64, Arc<Slot>)> =
         st.slots.read().iter().map(|(&id, s)| (id, Arc::clone(s))).collect();
     let (mut live, mut items, mut queued, mut node_splits) = (0i64, 0i64, 0i64, 0i64);
+    let heat_on = st.heat.enabled();
     for (id, slot) in slots {
         let rec = {
             let guard = slot.state.read();
@@ -219,6 +252,9 @@ fn publish_stats(st: &WorkerState) {
             }
         };
         if let Some(rec) = rec {
+            if heat_on {
+                publish_heat(st, id, &slot, &rec);
+            }
             st.image.merge_shard(&rec);
         }
     }
@@ -226,6 +262,40 @@ fn publish_stats(st: &WorkerState) {
     st.obs.items.set(items);
     st.obs.queue_depth.set(queued);
     st.obs.node_splits.set(node_splits);
+}
+
+/// Fold one shard's hot-path counter deltas into its EWMA rates and publish
+/// the resulting [`HeatEntry`]. A shard seen for the first time gets a
+/// synthetic previous observation one stats period back, so its very first
+/// rate reflects real elapsed time rather than an arbitrary epoch.
+fn publish_heat(st: &WorkerState, id: u64, slot: &Slot, rec: &ShardRecord) {
+    let now = Instant::now();
+    let inserts = slot.heat.inserts.load(Ordering::Relaxed);
+    let queries = slot.heat.queries.load(Ordering::Relaxed);
+    let mut track = st.heat_track.lock();
+    let tr = track.entry(id).or_insert_with(|| HeatTrack {
+        last: now.checked_sub(st.cfg.stats_period).unwrap_or(now),
+        prev_inserts: 0,
+        prev_queries: 0,
+        insert_rate: RateEwma::default(),
+        query_rate: RateEwma::default(),
+    });
+    let dt = now.duration_since(tr.last);
+    tr.insert_rate.update(inserts.saturating_sub(tr.prev_inserts), dt, st.cfg.heat_halflife);
+    tr.query_rate.update(queries.saturating_sub(tr.prev_queries), dt, st.cfg.heat_halflife);
+    tr.last = now;
+    tr.prev_inserts = inserts;
+    tr.prev_queries = queries;
+    st.heat.publish(HeatEntry {
+        shard: id,
+        worker: st.name.clone(),
+        items: rec.len,
+        inserts_total: inserts,
+        queries_total: queries,
+        insert_rate: tr.insert_rate.rate(),
+        query_rate: tr.query_rate.rate(),
+        volume_frac: rec.mbr.volume_frac(&st.schema),
+    });
 }
 
 fn reply(msg: &Incoming, resp: Response) {
@@ -286,6 +356,12 @@ fn handle(st: &Arc<WorkerState>, msg: Incoming) {
             drop(t);
             reply(&msg, resp);
         }
+        Request::QueryAnalyze { shards, query } => {
+            let t = rx_trace(st, &msg, "worker_query_analyze");
+            let resp = local_query_analyzed(st, &shards, &query);
+            drop(t);
+            reply(&msg, resp);
+        }
         Request::SplitShard { shard, left_id, right_id } => {
             let resp = do_split(st, shard, left_id, right_id);
             reply(&msg, resp);
@@ -338,11 +414,17 @@ fn local_insert(
         match &*guard {
             SlotState::Active { store } => {
                 store.insert(item);
+                if st.heat.enabled() {
+                    slot.heat.inserts.fetch_add(1, Ordering::Relaxed);
+                }
                 return Response::Ack;
             }
             SlotState::Busy { queue, .. } => {
                 st.obs.queue_inserts.inc();
                 queue.insert(item);
+                if st.heat.enabled() {
+                    slot.heat.inserts.fetch_add(1, Ordering::Relaxed);
+                }
                 // Mark the insertion-queue detour so a trace shows this item
                 // rode out a split/migration in the queue (§III-E).
                 if let Some(ctx) = trace {
@@ -406,12 +488,18 @@ fn local_bulk_insert(
             SlotState::Active { store } => {
                 let store = Arc::clone(store);
                 drop(guard);
+                if st.heat.enabled() {
+                    slot.heat.inserts.fetch_add(group.len() as u64, Ordering::Relaxed);
+                }
                 store.bulk_insert(group);
             }
             SlotState::Busy { queue, .. } => {
                 let queue = Arc::clone(queue);
                 drop(guard);
                 st.obs.queue_inserts.add(group.len() as u64);
+                if st.heat.enabled() {
+                    slot.heat.inserts.fetch_add(group.len() as u64, Ordering::Relaxed);
+                }
                 if let Some(ctx) = trace {
                     let now = st.tracer.now_us();
                     st.tracer.record_manual(
@@ -483,9 +571,33 @@ impl ScanTarget {
             ("nodes_visited".into(), qt.nodes_visited.to_string()),
             ("covered_hits".into(), qt.covered_hits.to_string()),
             ("items_scanned".into(), qt.items_scanned.to_string()),
+            ("pruned".into(), qt.pruned.to_string()),
         ];
         tracer.record_manual(parent, "tree_exec", start, tracer.now_us(), ann);
         agg
+    }
+
+    /// [`ScanTarget::query`] capturing the per-shard [`ShardExec`] record an
+    /// ANALYZE plan carries: the exact traversal counters the tree layer
+    /// measured, plus wall time and the shard's size at scan time.
+    fn query_exec(&self, q: &QueryBox) -> (Aggregate, ShardExec) {
+        let start = Instant::now();
+        let (mut agg, mut qt) = self.store.query_traced(q);
+        if let Some(queue) = &self.queue {
+            let (a, t) = queue.query_traced(q);
+            agg.merge(&a);
+            qt.merge(&t);
+        }
+        let exec = ShardExec {
+            shard: self.id,
+            items: self.store.len(),
+            nodes_visited: qt.nodes_visited,
+            covered_hits: qt.covered_hits,
+            items_scanned: qt.items_scanned,
+            pruned: qt.pruned,
+            wall_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        };
+        (agg, exec)
     }
 
     fn query_maybe_spanned(
@@ -520,6 +632,7 @@ fn local_query(
     // may name a shard the alias chase also reaches. Scan each id once.
     let mut seen: HashSet<u64> = HashSet::new();
     let mut hops = 0;
+    let heat_on = st.heat.enabled();
     while let Some(id) = pending.pop() {
         if !seen.insert(id) {
             continue;
@@ -535,9 +648,15 @@ fn local_query(
         let guard = slot.state.read();
         match &*guard {
             SlotState::Active { store } => {
+                if heat_on {
+                    slot.heat.queries.fetch_add(1, Ordering::Relaxed);
+                }
                 scans.push(ScanTarget { id, store: Arc::clone(store), queue: None });
             }
             SlotState::Busy { store, queue } => {
+                if heat_on {
+                    slot.heat.queries.fetch_add(1, Ordering::Relaxed);
+                }
                 scans.push(ScanTarget {
                     id,
                     store: Arc::clone(store),
@@ -591,6 +710,127 @@ fn local_query(
         }
     }
     Response::Agg { agg, shards_searched: searched }
+}
+
+/// [`local_query`] with plan capture: resolves and scans exactly like the
+/// plain path, but additionally assembles the [`WorkerExec`] describing how
+/// this worker ran its part of the query — alias chases counted during
+/// resolution, per-shard [`ShardExec`] records, the parallel fan-out width,
+/// and nested executions for shards forwarded to other workers.
+fn local_query_analyzed(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox) -> Response {
+    let _timer = st.obs.query_seconds.start();
+    st.obs.queries.inc();
+    let wall = Instant::now();
+    let mut scans: Vec<ScanTarget> = Vec::new();
+    let mut remote: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut pending: Vec<u64> = shards.to_vec();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut alias_chases: u32 = 0;
+    let mut hops = 0;
+    let heat_on = st.heat.enabled();
+    while let Some(id) = pending.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        hops += 1;
+        if hops > 10_000 {
+            return Response::Err("query alias expansion too deep".into());
+        }
+        let slot = match st.slots.read().get(&id) {
+            Some(s) => Arc::clone(s),
+            None => continue, // stale routing: shard no longer known here
+        };
+        let guard = slot.state.read();
+        match &*guard {
+            SlotState::Active { store } => {
+                if heat_on {
+                    slot.heat.queries.fetch_add(1, Ordering::Relaxed);
+                }
+                scans.push(ScanTarget { id, store: Arc::clone(store), queue: None });
+            }
+            SlotState::Busy { store, queue } => {
+                if heat_on {
+                    slot.heat.queries.fetch_add(1, Ordering::Relaxed);
+                }
+                scans.push(ScanTarget {
+                    id,
+                    store: Arc::clone(store),
+                    queue: Some(Arc::clone(queue)),
+                });
+            }
+            SlotState::SplitInto { left, right, .. } => {
+                alias_chases += 1;
+                pending.push(*left);
+                pending.push(*right);
+            }
+            SlotState::MovedTo { dest } => {
+                alias_chases += 1;
+                remote.entry(dest.clone()).or_default().push(id);
+            }
+        }
+    }
+    let fanout = match &st.query_pool {
+        Some(_) if scans.len() > 1 => scans.len() as u32,
+        _ => scans.len().min(1) as u32,
+    };
+    let mut shard_execs: Vec<ShardExec> = Vec::with_capacity(scans.len());
+    let mut agg = match &st.query_pool {
+        Some(pool) if scans.len() > 1 => {
+            let out = Mutex::new((Aggregate::empty(), Vec::with_capacity(scans.len())));
+            pool.scope(|s| {
+                let out = &out;
+                for t in &scans {
+                    s.spawn(move |_| {
+                        let (a, e) = t.query_exec(query);
+                        let mut g = out.lock();
+                        g.0.merge(&a);
+                        g.1.push(e);
+                    });
+                }
+            });
+            let (a, execs) = out.into_inner();
+            shard_execs = execs;
+            a
+        }
+        _ => {
+            let mut a = Aggregate::empty();
+            for t in &scans {
+                let (pa, e) = t.query_exec(query);
+                a.merge(&pa);
+                shard_execs.push(e);
+            }
+            a
+        }
+    };
+    shard_execs.sort_by_key(|e| e.shard);
+    let mut searched = scans.len() as u32;
+    let mut forwards: Vec<WorkerExec> = Vec::new();
+    for (dest, ids) in remote {
+        match forward(st, &dest, &Request::QueryAnalyze { shards: ids, query: query.clone() }, None)
+        {
+            Response::AggExec { agg: a, shards_searched, exec } => {
+                agg.merge(&a);
+                searched += shards_searched;
+                forwards.push(exec);
+            }
+            Response::Err(e) => return Response::Err(e),
+            _ => return Response::Err("unexpected forward response".into()),
+        }
+    }
+    forwards.sort_by(|a, b| a.worker.cmp(&b.worker));
+    let mut requested = shards.to_vec();
+    requested.sort_unstable();
+    requested.dedup();
+    let exec = WorkerExec {
+        worker: st.name.clone(),
+        requested,
+        alias_chases,
+        fanout,
+        wall_us: wall.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        shards: shard_execs,
+        forwards,
+    };
+    Response::AggExec { agg, shards_searched: searched, exec }
 }
 
 fn forward(
@@ -674,10 +914,12 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
             }
         }
         let mut slots = st.slots.write();
-        slots.insert(left_id, Arc::new(Slot { state: RwLock::new(SlotState::Active { store: Arc::clone(&left) }) }));
-        slots.insert(right_id, Arc::new(Slot { state: RwLock::new(SlotState::Active { store: Arc::clone(&right) }) }));
+        slots.insert(left_id, Slot::new(SlotState::Active { store: Arc::clone(&left) }));
+        slots.insert(right_id, Slot::new(SlotState::Active { store: Arc::clone(&right) }));
         *guard = SlotState::SplitInto { left: left_id, right: right_id, plan };
     }
+    st.heat.retire(shard, &st.name);
+    st.heat_track.lock().remove(&shard);
     // Update the global image: old record out, halves in.
     let left_rec = ShardRecord { id: left_id, worker: st.name.clone(), len: left.len(), mbr: left.mbr() };
     let right_rec = ShardRecord { id: right_id, worker: st.name.clone(), len: right.len(), mbr: right.mbr() };
@@ -753,6 +995,8 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
         *guard = SlotState::MovedTo { dest: dest.to_string() };
         queued
     };
+    st.heat.retire(shard, &st.name);
+    st.heat_track.lock().remove(&shard);
     if !queued.is_empty() {
         if let Response::Err(e) =
             forward(st, dest, &Request::BulkInsert { shard, items: queued }, None)
@@ -785,15 +1029,20 @@ fn do_adopt(st: &Arc<WorkerState>, shard: u64, blob: &[u8]) -> Response {
                 len: store.len(),
                 mbr: store.mbr(),
             };
-            st.slots
-                .write()
-                .insert(shard, Arc::new(Slot { state: RwLock::new(SlotState::Active { store }) }));
+            st.slots.write().insert(shard, Slot::new(SlotState::Active { store }));
             st.image.merge_shard(&rec);
             st.obs.adoptions.inc();
-            st.image
-                .obs()
-                .events()
-                .record("shard_adopt", format!("worker={} shard={shard} items={}", st.name, rec.len));
+            // `gen=` stamps the adopter's image generation so the event joins
+            // against ANALYZE plans and staleness probe data.
+            st.image.obs().events().record(
+                "shard_adopt",
+                format!(
+                    "worker={} shard={shard} items={} gen={}",
+                    st.name,
+                    rec.len,
+                    st.image.generation()
+                ),
+            );
             Response::Ack
         }
         Err(e) => Response::Err(format!("adopt decode failed: {e}")),

@@ -6,7 +6,10 @@
 //! `Display`, so `parse::<f64>()` recovers them bit-exactly; `u64` counters
 //! are written as integers and never pass through `f64`.
 
+use crate::audit::BalanceDecision;
 use crate::events::Event;
+use crate::heat::HeatEntry;
+use crate::json::{self, escape as json_escape, Json};
 use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
 use crate::snapshot::Snapshot;
 use crate::staleness::StalenessSnapshot;
@@ -258,22 +261,6 @@ pub fn from_prometheus(text: &str) -> Result<Snapshot, String> {
 // JSON
 // ---------------------------------------------------------------------------
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn json_label(id: &MetricId) -> String {
     match &id.label {
         Some((k, v)) => format!("[\"{}\",\"{}\"]", json_escape(k), json_escape(v)),
@@ -344,6 +331,56 @@ pub fn to_json(snap: &Snapshot) -> String {
             json_escape(&e.detail)
         ));
     }
+    out.push_str("\n  ],\n  \"heat\": [");
+    first = true;
+    for h in &snap.heat {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"shard\": {}, \"worker\": \"{}\", \"items\": {}, \
+             \"inserts_total\": {}, \"queries_total\": {}, \"insert_rate\": {}, \
+             \"query_rate\": {}, \"volume_frac\": {}}}",
+            h.shard,
+            json_escape(&h.worker),
+            h.items,
+            h.inserts_total,
+            h.queries_total,
+            h.insert_rate,
+            h.query_rate,
+            h.volume_frac
+        ));
+    }
+    out.push_str("\n  ],\n  \"audit\": [");
+    first = true;
+    for d in &snap.audit {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let inputs: Vec<String> = d
+            .inputs
+            .iter()
+            .map(|(k, v)| format!("[\"{}\",\"{}\"]", json_escape(k), json_escape(v)))
+            .collect();
+        let results: Vec<String> = d.result_shards.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!(
+            "\n    {{\"seq\": {}, \"ts_us\": {}, \"action\": \"{}\", \"shard\": {}, \
+             \"src\": \"{}\", \"dest\": \"{}\", \"inputs\": [{}], \
+             \"result_shards\": [{}], \"outcome\": \"{}\", \"duration_us\": {}}}",
+            d.seq,
+            d.ts_us,
+            json_escape(&d.action),
+            d.shard,
+            json_escape(&d.src),
+            json_escape(&d.dest),
+            inputs.join(","),
+            results.join(","),
+            json_escape(&d.outcome),
+            d.duration_us
+        ));
+    }
     let samples: Vec<String> =
         snap.staleness.samples_seconds.iter().map(|s| format!("{s}")).collect();
     out.push_str(&format!(
@@ -352,209 +389,6 @@ pub fn to_json(snap: &Snapshot) -> String {
         samples.join(",")
     ));
     out
-}
-
-// --- minimal JSON value model; numbers keep their lexeme for exactness ----
-
-#[derive(Debug, Clone)]
-enum Json {
-    Null,
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing key {key}")),
-            _ => Err(format!("not an object while looking up {key}")),
-        }
-    }
-    fn arr(&self) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err("expected array".into()),
-        }
-    }
-    fn str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err("expected string".into()),
-        }
-    }
-    fn num<T: std::str::FromStr>(&self) -> Result<T, String>
-    where
-        T::Err: std::fmt::Display,
-    {
-        match self {
-            Json::Num(s) => s.parse().map_err(|e| format!("bad number {s}: {e}")),
-            _ => Err("expected number".into()),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of JSON".to_string())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => {
-                self.pos += 1;
-                let mut fields = Vec::new();
-                if self.peek()? == b'}' {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    let key = match self.value()? {
-                        Json::Str(s) => s,
-                        _ => return Err("object key must be a string".into()),
-                    };
-                    self.expect(b':')?;
-                    fields.push((key, self.value()?));
-                    match self.peek()? {
-                        b',' => self.pos += 1,
-                        b'}' => {
-                            self.pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        other => return Err(format!("bad object separator {:?}", other as char)),
-                    }
-                }
-            }
-            b'[' => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                if self.peek()? == b']' {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    match self.peek()? {
-                        b',' => self.pos += 1,
-                        b']' => {
-                            self.pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        other => return Err(format!("bad array separator {:?}", other as char)),
-                    }
-                }
-            }
-            b'"' => {
-                self.pos += 1;
-                let mut out = String::new();
-                loop {
-                    let b = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| "unterminated string".to_string())?;
-                    self.pos += 1;
-                    match b {
-                        b'"' => return Ok(Json::Str(out)),
-                        b'\\' => {
-                            let esc = *self
-                                .bytes
-                                .get(self.pos)
-                                .ok_or_else(|| "dangling escape".to_string())?;
-                            self.pos += 1;
-                            match esc {
-                                b'"' => out.push('"'),
-                                b'\\' => out.push('\\'),
-                                b'/' => out.push('/'),
-                                b'n' => out.push('\n'),
-                                b'r' => out.push('\r'),
-                                b't' => out.push('\t'),
-                                b'u' => {
-                                    let hex = self
-                                        .bytes
-                                        .get(self.pos..self.pos + 4)
-                                        .ok_or_else(|| "short \\u escape".to_string())?;
-                                    self.pos += 4;
-                                    let code = u32::from_str_radix(
-                                        std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                        16,
-                                    )
-                                    .map_err(|e| e.to_string())?;
-                                    out.push(
-                                        char::from_u32(code)
-                                            .ok_or_else(|| "bad \\u escape".to_string())?,
-                                    );
-                                }
-                                other => return Err(format!("bad escape \\{}", other as char)),
-                            }
-                        }
-                        _ => {
-                            // Re-sync to char boundary for multi-byte UTF-8.
-                            let start = self.pos - 1;
-                            let mut end = self.pos;
-                            while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
-                                end += 1;
-                            }
-                            out.push_str(
-                                std::str::from_utf8(&self.bytes[start..end])
-                                    .map_err(|e| e.to_string())?,
-                            );
-                            self.pos = end;
-                        }
-                    }
-                }
-            }
-            b'n' => {
-                if self.bytes[self.pos..].starts_with(b"null") {
-                    self.pos += 4;
-                    Ok(Json::Null)
-                } else {
-                    Err("bad literal".into())
-                }
-            }
-            _ => {
-                let start = self.pos;
-                while self.pos < self.bytes.len()
-                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-                {
-                    self.pos += 1;
-                }
-                if start == self.pos {
-                    return Err(format!("unexpected byte at {}", self.pos));
-                }
-                Ok(Json::Num(
-                    std::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|e| e.to_string())?
-                        .to_string(),
-                ))
-            }
-        }
-    }
 }
 
 fn parse_id(v: &Json) -> Result<MetricId, String> {
@@ -571,12 +405,7 @@ fn parse_id(v: &Json) -> Result<MetricId, String> {
 
 /// Parse JSON produced by [`to_json`] back into a full [`Snapshot`].
 pub fn from_json(text: &str) -> Result<Snapshot, String> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
-    let root = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(format!("trailing bytes after JSON at {}", parser.pos));
-    }
+    let root = json::parse(text)?;
     let mut snap = Snapshot::default();
     for c in root.get("counters")?.arr()? {
         snap.counters.push(ScalarSnapshot { id: parse_id(c)?, value: c.get("value")?.num()? });
@@ -606,6 +435,44 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
             ts_us: e.get("ts_us")?.num()?,
             kind: e.get("kind")?.str()?.to_string(),
             detail: e.get("detail")?.str()?.to_string(),
+        });
+    }
+    for h in root.get("heat")?.arr()? {
+        snap.heat.push(HeatEntry {
+            shard: h.get("shard")?.num()?,
+            worker: h.get("worker")?.str()?.to_string(),
+            items: h.get("items")?.num()?,
+            inserts_total: h.get("inserts_total")?.num()?,
+            queries_total: h.get("queries_total")?.num()?,
+            insert_rate: h.get("insert_rate")?.num()?,
+            query_rate: h.get("query_rate")?.num()?,
+            volume_frac: h.get("volume_frac")?.num()?,
+        });
+    }
+    for d in root.get("audit")?.arr()? {
+        let mut inputs = Vec::new();
+        for pair in d.get("inputs")?.arr()? {
+            let kv = pair.arr()?;
+            if kv.len() != 2 {
+                return Err("audit input must be a [key, value] pair".into());
+            }
+            inputs.push((kv[0].str()?.to_string(), kv[1].str()?.to_string()));
+        }
+        let mut result_shards = Vec::new();
+        for s in d.get("result_shards")?.arr()? {
+            result_shards.push(s.num()?);
+        }
+        snap.audit.push(BalanceDecision {
+            seq: d.get("seq")?.num()?,
+            ts_us: d.get("ts_us")?.num()?,
+            action: d.get("action")?.str()?.to_string(),
+            shard: d.get("shard")?.num()?,
+            src: d.get("src")?.str()?.to_string(),
+            dest: d.get("dest")?.str()?.to_string(),
+            inputs,
+            result_shards,
+            outcome: d.get("outcome")?.str()?.to_string(),
+            duration_us: d.get("duration_us")?.num()?,
         });
     }
     let st = root.get("staleness")?;
@@ -667,12 +534,7 @@ pub fn traces_to_perfetto(traces: &[Trace]) -> String {
 /// event is an error — this is the validator `volap-stat --traces` and CI
 /// run over exported traces.
 pub fn traces_from_perfetto(text: &str) -> Result<Vec<Trace>, String> {
-    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
-    let root = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(format!("trailing bytes after JSON at {}", parser.pos));
-    }
+    let root = json::parse(text)?;
     let mut traces: Vec<Trace> = Vec::new();
     for ev in root.get("traceEvents")?.arr()? {
         let ph = ev.get("ph")?.str()?;
@@ -739,6 +601,31 @@ mod tests {
                 ts_us: 12,
                 kind: "shard_split".into(),
                 detail: "shard=1 \"quoted\"\nline".into(),
+            }],
+            heat: vec![HeatEntry {
+                shard: 4,
+                worker: "worker \"w0\"".into(),
+                items: 120,
+                inserts_total: u64::MAX,
+                queries_total: 7,
+                insert_rate: 123.456789012345,
+                query_rate: 0.25,
+                volume_frac: 0.001953125,
+            }],
+            audit: vec![BalanceDecision {
+                seq: 3,
+                ts_us: 99,
+                action: "migrate".into(),
+                shard: 4,
+                src: "worker-0".into(),
+                dest: "worker \"1\"\n".into(),
+                inputs: vec![
+                    ("src_load".into(), "31000".into()),
+                    ("hi".into(), "25000".into()),
+                ],
+                result_shards: vec![4],
+                outcome: "ok".into(),
+                duration_us: 1234,
             }],
             staleness: StalenessSnapshot { count: 2, samples_seconds: vec![0.001, 0.25] },
         }

@@ -1,0 +1,274 @@
+//! A minimal JSON value model with an exactness-preserving parser, shared by
+//! every hand-rolled exporter in the workspace (snapshot JSON, Perfetto
+//! traces, and the core crate's `QueryPlan` encoding).
+//!
+//! Numbers keep their **lexeme** (the exact byte sequence from the input)
+//! instead of eagerly converting to `f64`, so integers larger than 2^53 and
+//! shortest-round-trip floats survive a parse → re-render cycle bit-exactly.
+
+/// One parsed JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A number, kept as its source lexeme for exactness.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered field list (duplicate keys keep first wins
+    /// via [`Json::get`]).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up `key` in an object.
+    pub fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key {key}")),
+            _ => Err(format!("not an object while looking up {key}")),
+        }
+    }
+
+    /// The elements of an array.
+    pub fn arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected array".into()),
+        }
+    }
+
+    /// The contents of a string.
+    pub fn str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".into()),
+        }
+    }
+
+    /// Parse a number lexeme into any `FromStr` numeric type.
+    pub fn num<T: std::str::FromStr>(&self) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self {
+            Json::Num(s) => s.parse().map_err(|e| format!("bad number {s}: {e}")),
+            _ => Err("expected number".into()),
+        }
+    }
+}
+
+/// Escape a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse one complete JSON document. Trailing non-whitespace bytes are an
+/// error — every caller is a validator, so partial parses must not pass.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing bytes after JSON at {}", parser.pos));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of JSON".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    let key = match self.value()? {
+                        Json::Str(s) => s,
+                        _ => return Err("object key must be a string".into()),
+                    };
+                    self.expect(b':')?;
+                    fields.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        other => return Err(format!("bad object separator {:?}", other as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array separator {:?}", other as char)),
+                    }
+                }
+            }
+            b'"' => {
+                self.pos += 1;
+                let mut out = String::new();
+                loop {
+                    let b = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    self.pos += 1;
+                    match b {
+                        b'"' => return Ok(Json::Str(out)),
+                        b'\\' => {
+                            let esc = *self
+                                .bytes
+                                .get(self.pos)
+                                .ok_or_else(|| "dangling escape".to_string())?;
+                            self.pos += 1;
+                            match esc {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                b'/' => out.push('/'),
+                                b'n' => out.push('\n'),
+                                b'r' => out.push('\r'),
+                                b't' => out.push('\t'),
+                                b'u' => {
+                                    let hex = self
+                                        .bytes
+                                        .get(self.pos..self.pos + 4)
+                                        .ok_or_else(|| "short \\u escape".to_string())?;
+                                    self.pos += 4;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                        16,
+                                    )
+                                    .map_err(|e| e.to_string())?;
+                                    out.push(
+                                        char::from_u32(code)
+                                            .ok_or_else(|| "bad \\u escape".to_string())?,
+                                    );
+                                }
+                                other => return Err(format!("bad escape \\{}", other as char)),
+                            }
+                        }
+                        _ => {
+                            // Re-sync to char boundary for multi-byte UTF-8.
+                            let start = self.pos - 1;
+                            let mut end = self.pos;
+                            while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                                end += 1;
+                            }
+                            out.push_str(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|e| e.to_string())?,
+                            );
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(Json::Null)
+                } else {
+                    Err("bad literal".into())
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while self.pos < self.bytes.len()
+                    && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.pos += 1;
+                }
+                if start == self.pos {
+                    return Err(format!("unexpected byte at {}", self.pos));
+                }
+                Ok(Json::Num(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?
+                        .to_string(),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexemes_survive_exactly() {
+        let doc = r#"{"big": 18446744073709551615, "f": 0.1234567890123456789}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("big").unwrap().num::<u64>().unwrap(), u64::MAX);
+        match v.get("f").unwrap() {
+            Json::Num(lex) => assert_eq!(lex, "0.1234567890123456789"),
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("{}").is_ok());
+        assert!(parse("  [1, 2]\n").is_ok());
+    }
+}

@@ -26,14 +26,19 @@
 //! per deployment (shared through its `ImageStore`) and surfaces it as
 //! `Cluster::snapshot()`.
 
+pub mod audit;
 pub mod events;
 pub mod export;
+pub mod heat;
+pub mod json;
 pub mod registry;
 pub mod snapshot;
 pub mod staleness;
 pub mod trace;
 
+pub use audit::{AuditLog, BalanceDecision};
 pub use events::{Event, EventLog};
+pub use heat::{HeatEntry, HeatMap, RateEwma};
 pub use registry::{
     bucket_index, bucket_le_seconds, Counter, Gauge, Histogram, HistogramSnapshot, MetricId,
     Registry, ScalarSnapshot, Timer, HIST_BUCKETS,
@@ -50,6 +55,12 @@ pub struct ObsConfig {
     pub histograms: bool,
     /// Total events retained across the ring shards.
     pub event_capacity: usize,
+    /// Whether per-shard heat tracking (EWMA insert/query rates) starts
+    /// enabled. Runtime-togglable via [`HeatMap::set_enabled`]; off, the
+    /// hot-path cost is one relaxed load and a branch.
+    pub heat_enabled: bool,
+    /// Total load-balance decisions retained across the audit ring shards.
+    pub audit_capacity: usize,
     /// Causal-tracing sizing and sampling (the `VolapConfig::trace_sample` /
     /// `trace_slow_threshold` knobs upstream).
     pub trace: TraceConfig,
@@ -57,7 +68,13 @@ pub struct ObsConfig {
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        Self { histograms: true, event_capacity: 4096, trace: TraceConfig::default() }
+        Self {
+            histograms: true,
+            event_capacity: 4096,
+            heat_enabled: true,
+            audit_capacity: 1024,
+            trace: TraceConfig::default(),
+        }
     }
 }
 
@@ -69,6 +86,8 @@ pub struct Obs {
     events: EventLog,
     staleness: StalenessProbe,
     tracer: Tracer,
+    heat: HeatMap,
+    audit: AuditLog,
 }
 
 impl Default for Obs {
@@ -87,6 +106,8 @@ impl Obs {
             events: EventLog::new(cfg.event_capacity),
             staleness,
             tracer: Tracer::new(cfg.trace),
+            heat: HeatMap::new(cfg.heat_enabled),
+            audit: AuditLog::new(cfg.audit_capacity),
         }
     }
 
@@ -110,7 +131,18 @@ impl Obs {
         &self.tracer
     }
 
-    /// One coherent snapshot of metrics, events, and measured staleness.
+    /// The per-shard heat map.
+    pub fn heat(&self) -> &HeatMap {
+        &self.heat
+    }
+
+    /// The load-balance decision audit trail.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// One coherent snapshot of metrics, events, heat, balance decisions,
+    /// and measured staleness.
     pub fn snapshot(&self) -> Snapshot {
         let (counters, gauges, histograms) = self.registry.snapshot();
         Snapshot {
@@ -118,6 +150,8 @@ impl Obs {
             gauges,
             histograms,
             events: self.events.snapshot(),
+            heat: self.heat.snapshot(),
+            audit: self.audit.snapshot(),
             staleness: self.staleness.snapshot(),
         }
     }

@@ -1,7 +1,9 @@
 //! A coherent point-in-time view of everything the observability core
 //! knows: metrics, recent events, and measured staleness.
 
+use crate::audit::BalanceDecision;
 use crate::events::Event;
+use crate::heat::HeatEntry;
 use crate::registry::{HistogramSnapshot, ScalarSnapshot};
 use crate::staleness::StalenessSnapshot;
 
@@ -17,21 +19,27 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Recent events in global sequence order.
     pub events: Vec<Event>,
+    /// Per-shard heat, ordered by shard id.
+    pub heat: Vec<HeatEntry>,
+    /// Recent load-balance decisions in global sequence order.
+    pub audit: Vec<BalanceDecision>,
     /// Measured image-staleness samples.
     pub staleness: StalenessSnapshot,
 }
 
 impl Snapshot {
-    /// This snapshot with events and staleness stripped — the subset the
-    /// Prometheus text exposition can represent (raw samples and the event
-    /// log have no exposition form; staleness *distribution* is still
-    /// present as the `volap_staleness_seconds` histogram).
+    /// This snapshot with events, heat, audit, and staleness stripped — the
+    /// subset the Prometheus text exposition can represent (raw samples and
+    /// the structured logs have no exposition form; staleness *distribution*
+    /// is still present as the `volap_staleness_seconds` histogram).
     pub fn metrics_only(&self) -> Snapshot {
         Snapshot {
             counters: self.counters.clone(),
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
             events: Vec::new(),
+            heat: Vec::new(),
+            audit: Vec::new(),
             staleness: StalenessSnapshot::default(),
         }
     }

@@ -2,9 +2,13 @@
 //! under concurrency and exporter round-trip fidelity.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use proptest::prelude::*;
-use volap_obs::{bucket_index, export, Obs, ObsConfig, Registry, HIST_BUCKETS};
+use volap_obs::{
+    bucket_index, export, AuditLog, BalanceDecision, HeatEntry, HeatMap, Obs, ObsConfig, RateEwma,
+    Registry, HIST_BUCKETS,
+};
 
 /// Hammer one histogram from many threads and check that not a single
 /// observation is lost or double-counted: total count, total sum, and the
@@ -166,6 +170,148 @@ fn event_ring_eviction_under_contention_is_exact() {
     // every shard's retained run must be a suffix of what that thread wrote.
     let max_seq = *seqs.iter().max().unwrap();
     assert!(max_seq >= total - 128, "newest events survive eviction");
+}
+
+/// Audit-ring eviction under contention, mirroring the event-ring test
+/// above: many manager-like writers overflowing a small ring must keep the
+/// global sequencing monotone and collision-free, account for every drop,
+/// and retain the newest history.
+#[test]
+fn audit_ring_eviction_under_contention_is_exact() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 2_000;
+    // 128 decisions total → 8 per thread-shard, so eviction runs
+    // continuously on every shard.
+    let log = AuditLog::new(128);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let log = log.clone();
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    log.record(BalanceDecision {
+                        action: "split".into(),
+                        shard: (t * PER_THREAD + i) as u64,
+                        src: format!("worker-{t}"),
+                        inputs: vec![("len".into(), i.to_string())],
+                        result_shards: vec![i as u64, i as u64 + 1],
+                        outcome: "ok".into(),
+                        ..Default::default()
+                    });
+                }
+            });
+        }
+    });
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(log.recorded(), total, "every decision counted");
+    let snapshot = log.snapshot();
+    assert!(!snapshot.is_empty(), "overflow must not evict everything");
+    assert!(snapshot.len() <= 128, "capacity bound held under contention");
+    assert_eq!(
+        snapshot.len() as u64 + log.dropped(),
+        total,
+        "retained + dropped = recorded exactly"
+    );
+    let seqs: Vec<u64> = snapshot.iter().map(|d| d.seq).collect();
+    for w in seqs.windows(2) {
+        assert!(w[0] < w[1], "seq strictly increasing: {} then {}", w[0], w[1]);
+    }
+    assert!(seqs.iter().all(|&s| s < total), "seq values within the issued range");
+    assert!(*seqs.iter().max().unwrap() >= total - 128, "newest decisions survive eviction");
+    // Structured payloads survive the ring untouched.
+    for d in &snapshot {
+        assert_eq!(d.action, "split");
+        assert_eq!(d.result_shards.len(), 2);
+        assert_eq!(d.inputs.len(), 1);
+        assert!(d.src.starts_with("worker-"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The half-life EWMA: the first observation seeds the estimate exactly,
+    /// one silent half-life halves it, and the estimate always stays inside
+    /// the [min, max] envelope of the instantaneous rates it was fed.
+    #[test]
+    fn rate_ewma_seeds_halves_and_stays_in_envelope(
+        seed_events in 1u64..100_000,
+        feeds in prop::collection::vec((0u64..100_000, 1u64..5_000), 1..32),
+        hl_ms in 50u64..5_000,
+    ) {
+        let hl = Duration::from_millis(hl_ms);
+        let mut e = RateEwma::default();
+
+        // Seeding: the first observation becomes the rate verbatim.
+        e.update(seed_events, Duration::from_millis(250), hl);
+        let seeded = seed_events as f64 / 0.25;
+        prop_assert_eq!(e.rate(), seeded);
+
+        // Decay: one silent half-life halves the estimate exactly.
+        let mut h = e;
+        h.update(0, hl, hl);
+        prop_assert!((h.rate() - seeded / 2.0).abs() <= seeded * 1e-9);
+
+        // Envelope: however the feed sequence looks, the smoothed rate can
+        // never leave the span of the instantaneous rates seen so far.
+        let mut lo = seeded;
+        let mut hi = seeded;
+        for &(events, dt_ms) in &feeds {
+            let dt = Duration::from_millis(dt_ms);
+            e.update(events, dt, hl);
+            let inst = events as f64 / dt.as_secs_f64();
+            lo = lo.min(inst);
+            hi = hi.max(inst);
+            prop_assert!(
+                e.rate() >= lo - 1e-9 && e.rate() <= hi + 1e-9,
+                "rate {} left envelope [{}, {}]", e.rate(), lo, hi
+            );
+        }
+
+        // Zero-dt feeds are ignored entirely.
+        let before = e.rate();
+        e.update(123, Duration::ZERO, hl);
+        prop_assert_eq!(e.rate(), before);
+    }
+
+    /// HeatMap semantics under arbitrary publish/retire interleavings: the
+    /// snapshot is exactly the last publish per shard id, ordered by id,
+    /// minus shards whose current owner retired them. A retire by a stale
+    /// owner is always a no-op.
+    #[test]
+    fn heat_map_is_last_writer_wins_with_owner_guarded_retire(
+        ops in prop::collection::vec(
+            (0u64..8, 0u8..4, any::<bool>(), 1u64..1_000_000),
+            0..64,
+        ),
+    ) {
+        let map = HeatMap::new(true);
+        let mut model: std::collections::BTreeMap<u64, HeatEntry> = Default::default();
+        for &(shard, worker, is_publish, items) in &ops {
+            let worker_name = format!("w{worker}");
+            if is_publish {
+                let entry = HeatEntry {
+                    shard,
+                    worker: worker_name,
+                    items,
+                    inserts_total: items * 2,
+                    queries_total: items / 2,
+                    insert_rate: items as f64,
+                    query_rate: items as f64 / 4.0,
+                    volume_frac: 0.5,
+                };
+                map.publish(entry.clone());
+                model.insert(shard, entry);
+            } else {
+                map.retire(shard, &worker_name);
+                if model.get(&shard).is_some_and(|e| e.worker == worker_name) {
+                    model.remove(&shard);
+                }
+            }
+        }
+        let snap = map.snapshot();
+        let expect: Vec<HeatEntry> = model.into_values().collect();
+        prop_assert_eq!(snap, expect);
+    }
 }
 
 /// A cloned histogram handle observes into the same series (handles are
