@@ -29,13 +29,46 @@ fn run_batch(tree: &ConcurrentTree<Mds>, queries: &[QueryBox], par: bool) -> (u6
     (total, t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64)
 }
 
+/// Parse `--threads N`, size the global pool with it, and return the thread
+/// count a parallel section will actually use. Warns loudly on single-core
+/// runs: every parallel speedup measured there is noise.
+fn setup_threads(bench: &str) -> (usize, usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut args = std::env::args().skip(1);
+    let mut threads = 0usize;
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args.next().unwrap_or_default();
+            threads = v.parse().unwrap_or_else(|_| panic!("--threads needs a number, got {v:?}"));
+        }
+    }
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("--threads must run before the global pool initializes");
+    }
+    let effective = if threads > 0 { threads } else { cores };
+    if effective == 1 {
+        eprintln!(
+            "WARNING: {bench} is running on a single thread (cores={cores}); parallel \
+             speedups below are meaningless. Re-run on a multi-core machine or pass \
+             --threads N."
+        );
+    }
+    (cores, effective)
+}
+
 fn main() {
     let schema = Schema::tpcds();
     let n_queries = 32;
     let rounds = 5;
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (cores, threads) = setup_threads("bench_query");
     let mut rows = Vec::new();
-    println!("# query_seq_vs_par ({cores} cores, {n_queries} queries/round, best of {rounds})");
+    println!(
+        "# query_seq_vs_par ({cores} cores, {threads} threads, {n_queries} queries/round, \
+         best of {rounds})"
+    );
     println!("{:<10} {:>14} {:>14} {:>9}", "items", "seq_ms/query", "par_ms/query", "speedup");
     for n in [10_000usize, 500_000] {
         let mut gen = DataGen::new(&schema, 11, 1.5);
@@ -63,6 +96,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"query_seq_vs_par\",\n");
     json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"queries_per_round\": {n_queries},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -54,6 +54,9 @@ fn main() {
         // a real audit trail: split threshold far below the item count.
         cfg.max_shard_items = 500;
         cfg.manager_period = Duration::from_millis(25);
+        // Materialize one rollup level so an aligned coarse query below can
+        // prove the rollup-hit counter reaches EXPLAIN output.
+        cfg.rollup_levels = 1;
     }
     let cluster = Cluster::start(cfg);
 
@@ -92,6 +95,18 @@ fn main() {
             && Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(20));
+        }
+        // A level-1-aligned constrained query (cells span 8 ordinals along
+        // each dimension) must be answered from the materialized rollups,
+        // and the hit must be visible in the ANALYZE plan.
+        let q = QueryBox::from_ranges(vec![(0, 7), (0, 63), (0, 63)]);
+        let (_, _, plan) =
+            cluster.client_on(0).query_analyze(&q).unwrap_or_else(|e| fail(&e));
+        if plan.totals().rollup_hits == 0 {
+            fail("aligned coarse query was not rollup-answered on any shard");
+        }
+        if !plan.to_json().contains("\"rollup_hits\"") {
+            fail("EXPLAIN JSON does not carry the rollup_hits counter");
         }
     }
 

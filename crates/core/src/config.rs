@@ -20,8 +20,19 @@ pub struct VolapConfig {
     /// Shard data structure (the paper recommends
     /// [`StoreKind::HilbertPdcMds`]).
     pub store_kind: StoreKind,
-    /// Tree sizing for shard stores.
+    /// Tree sizing for shard stores. The `column_compression` and
+    /// `rollup_levels` members are overridden by the same-named top-level
+    /// knobs below (see [`VolapConfig::tree_config`]).
     pub tree: TreeConfig,
+    /// Whether shard leaves choose dictionary/bit-packed column encodings at
+    /// build and split time. Purely a memory/scan-speed trade; query results
+    /// are identical either way.
+    pub column_compression: bool,
+    /// Coarse hierarchy levels materialized as per-cell rollup aggregates in
+    /// every shard. Queries aligned at a materialized level are answered
+    /// without touching the tree (reported as `rollup_hits` in EXPLAIN
+    /// plans). `0` disables rollups.
+    pub rollup_levels: usize,
     /// Number of servers (`m`).
     pub servers: usize,
     /// Number of workers (`p`).
@@ -108,6 +119,8 @@ impl VolapConfig {
             schema,
             store_kind: StoreKind::HilbertPdcMds,
             tree: TreeConfig::default(),
+            column_compression: true,
+            rollup_levels: 0,
             servers: 2,
             workers: 4,
             server_threads: 2,
@@ -133,6 +146,17 @@ impl VolapConfig {
             audit_capacity: 1024,
             trace_sample: 0,
             trace_slow_threshold: Duration::from_millis(100),
+        }
+    }
+
+    /// The tree configuration shard stores are actually built with: `tree`
+    /// with the top-level `column_compression` / `rollup_levels` knobs
+    /// merged in.
+    pub fn tree_config(&self) -> TreeConfig {
+        TreeConfig {
+            column_compression: self.column_compression,
+            rollup_levels: self.rollup_levels,
+            ..self.tree.clone()
         }
     }
 }

@@ -39,6 +39,9 @@ pub struct ShardExec {
     pub items_scanned: u64,
     /// Directory entries pruned (no overlap).
     pub pruned: u64,
+    /// Queries answered wholly from a materialized level rollup (no tree
+    /// walk at all).
+    pub rollup_hits: u64,
     /// Wall time scanning this shard, microseconds.
     pub wall_us: u64,
 }
@@ -51,6 +54,7 @@ impl ShardExec {
             covered_hits: self.covered_hits,
             items_scanned: self.items_scanned,
             pruned: self.pruned,
+            rollup_hits: self.rollup_hits,
         }
     }
 }
@@ -295,6 +299,7 @@ fn encode_worker(w: &WorkerExec, buf: &mut Vec<u8>) {
         buf.put_u64(s.covered_hits);
         buf.put_u64(s.items_scanned);
         buf.put_u64(s.pruned);
+        buf.put_u64(s.rollup_hits);
         buf.put_u64(s.wall_us);
     }
     buf.put_u32(w.forwards.len() as u32);
@@ -317,7 +322,7 @@ fn decode_worker(buf: &mut &[u8], depth: usize) -> Result<WorkerExec, WireError>
     let fanout = buf.get_u32();
     let wall_us = buf.get_u64();
     let n = buf.get_u32() as usize;
-    need(buf, n * 56, "shard executions")?;
+    need(buf, n * 64, "shard executions")?;
     let shards = (0..n)
         .map(|_| ShardExec {
             shard: buf.get_u64(),
@@ -326,6 +331,7 @@ fn decode_worker(buf: &mut &[u8], depth: usize) -> Result<WorkerExec, WireError>
             covered_hits: buf.get_u64(),
             items_scanned: buf.get_u64(),
             pruned: buf.get_u64(),
+            rollup_hits: buf.get_u64(),
             wall_us: buf.get_u64(),
         })
         .collect();
@@ -355,8 +361,15 @@ fn write_worker_json(w: &WorkerExec, out: &mut String) {
         }
         out.push_str(&format!(
             "{{\"shard\": {}, \"items\": {}, \"nodes_visited\": {}, \"covered_hits\": {}, \
-             \"items_scanned\": {}, \"pruned\": {}, \"wall_us\": {}}}",
-            s.shard, s.items, s.nodes_visited, s.covered_hits, s.items_scanned, s.pruned, s.wall_us
+             \"items_scanned\": {}, \"pruned\": {}, \"rollup_hits\": {}, \"wall_us\": {}}}",
+            s.shard,
+            s.items,
+            s.nodes_visited,
+            s.covered_hits,
+            s.items_scanned,
+            s.pruned,
+            s.rollup_hits,
+            s.wall_us
         ));
     }
     out.push_str("], \"forwards\": [");
@@ -407,6 +420,7 @@ fn worker_from_json(v: &Json, depth: usize) -> Result<WorkerExec, String> {
             covered_hits: s.get("covered_hits")?.num()?,
             items_scanned: s.get("items_scanned")?.num()?,
             pruned: s.get("pruned")?.num()?,
+            rollup_hits: s.get("rollup_hits")?.num()?,
             wall_us: s.get("wall_us")?.num()?,
         });
     }
@@ -433,8 +447,16 @@ fn render_worker(w: &WorkerExec, depth: usize, out: &mut String) {
     ));
     for s in &w.shards {
         out.push_str(&format!(
-            "{pad}  shard {} ({} items): visited {}, covered {}, scanned {}, pruned {}, {} us\n",
-            s.shard, s.items, s.nodes_visited, s.covered_hits, s.items_scanned, s.pruned, s.wall_us
+            "{pad}  shard {} ({} items): visited {}, covered {}, scanned {}, pruned {}, \
+             rollup {}, {} us\n",
+            s.shard,
+            s.items,
+            s.nodes_visited,
+            s.covered_hits,
+            s.items_scanned,
+            s.pruned,
+            s.rollup_hits,
+            s.wall_us
         ));
     }
     for f in &w.forwards {
@@ -470,6 +492,7 @@ mod tests {
                             covered_hits: 3,
                             items_scanned: 40,
                             pruned: 5,
+                            rollup_hits: 1,
                             wall_us: 80,
                         },
                         ShardExec { shard: 12, items: u64::MAX, ..Default::default() },
@@ -513,6 +536,7 @@ mod tests {
         assert_eq!(t.covered_hits, 3);
         assert_eq!(t.items_scanned, 45);
         assert_eq!(t.pruned, 5);
+        assert_eq!(t.rollup_hits, 1);
     }
 
     #[test]

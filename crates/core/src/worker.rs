@@ -572,6 +572,7 @@ impl ScanTarget {
             ("covered_hits".into(), qt.covered_hits.to_string()),
             ("items_scanned".into(), qt.items_scanned.to_string()),
             ("pruned".into(), qt.pruned.to_string()),
+            ("rollup_hits".into(), qt.rollup_hits.to_string()),
         ];
         tracer.record_manual(parent, "tree_exec", start, tracer.now_us(), ann);
         agg
@@ -595,6 +596,7 @@ impl ScanTarget {
             covered_hits: qt.covered_hits,
             items_scanned: qt.items_scanned,
             pruned: qt.pruned,
+            rollup_hits: qt.rollup_hits,
             wall_us: start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
         };
         (agg, exec)
@@ -861,7 +863,7 @@ fn revert_merge(
     }
     let mut items = store.items();
     items.extend(queued);
-    let merged: Arc<dyn ShardStore> = build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+    let merged: Arc<dyn ShardStore> = build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree_config()).into();
     merged.bulk_insert(items);
     merged
 }
@@ -881,7 +883,7 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
             SlotState::Active { store } => {
                 let store = Arc::clone(store);
                 let queue: Arc<dyn ShardStore> =
-                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree_config()).into();
                 *guard = SlotState::Busy { store: Arc::clone(&store), queue };
                 store
             }
@@ -964,7 +966,7 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
             SlotState::Active { store } => {
                 let store = Arc::clone(store);
                 let queue: Arc<dyn ShardStore> =
-                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree).into();
+                    build_store(st.cfg.store_kind, &st.schema, &st.cfg.tree_config()).into();
                 *guard = SlotState::Busy { store: Arc::clone(&store), queue };
                 store
             }
@@ -1020,7 +1022,7 @@ fn do_migrate(st: &Arc<WorkerState>, shard: u64, dest: &str) -> Response {
 }
 
 fn do_adopt(st: &Arc<WorkerState>, shard: u64, blob: &[u8]) -> Response {
-    match deserialize_store(st.cfg.store_kind, &st.schema, &st.cfg.tree, blob) {
+    match deserialize_store(st.cfg.store_kind, &st.schema, &st.cfg.tree_config(), blob) {
         Ok(store) => {
             let store: Arc<dyn ShardStore> = store.into();
             let rec = ShardRecord {

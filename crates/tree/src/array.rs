@@ -64,9 +64,8 @@ impl ArrayStore {
         }
         let trace = QueryTrace {
             nodes_visited: 1,
-            covered_hits: 0,
             items_scanned: g.items.len() as u64,
-            pruned: 0,
+            ..QueryTrace::default()
         };
         (agg, trace)
     }

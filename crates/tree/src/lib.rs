@@ -42,13 +42,16 @@
 //! ```
 
 pub mod array;
-pub(crate) mod leaf;
+pub mod leaf;
+pub mod rollup;
 pub mod serial;
 pub mod split;
 pub mod store;
 pub mod tree;
 
 pub use array::ArrayStore;
+pub use leaf::{Column, ColumnStats, LeafColumns};
+pub use rollup::RollupTable;
 pub use split::SplitPlan;
 pub use store::{build_store, deserialize_store, ShardStore, StoreKind, StoreStats};
 pub use tree::{ConcurrentTree, InsertPolicy, QueryTrace, TreeConfig, DEFAULT_PAR_CUTOFF};

@@ -1,0 +1,239 @@
+//! Materialized hierarchy-level rollups: partial aggregates per coarse
+//! hierarchy cell, so coarse aligned queries never descend to leaves.
+//!
+//! A [`RollupTable`] lives beside a shard's tree root and keeps one
+//! [`Aggregate`] per occupied *cell* of each materialized hierarchy level
+//! ℓ: the cell of an item is the tuple of its per-dimension level-ℓ path
+//! prefixes (`coord >> remaining_bits(ℓ)`), packed into a single `u128`
+//! key. Maintenance is an O(levels) hash update per inserted item —
+//! piggybacking on the same insert path that maintains the tree's cached
+//! subtree aggregates — and splits, migrations and deserialization rebuild
+//! the table naturally because they re-insert items into a fresh store.
+//!
+//! A query whose box is *aligned* at some materialized level (every
+//! dimension's range is a whole number of level-ℓ cells, see
+//! [`QueryBox::aligned_at_level`]) is answered exactly by merging the
+//! occupied cells inside its prefix ranges — time proportional to the
+//! number of occupied coarse cells, independent of item count. Coarse
+//! levels must therefore be low-cardinality to win; levels whose total
+//! prefix width exceeds [`MAX_CELL_BITS`] are never materialized, and the
+//! whole feature is off unless `TreeConfig::rollup_levels > 0`.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use volap_dims::{Aggregate, QueryBox, Schema};
+
+/// Mutex shards per level table, keeping concurrent insert contention low.
+const SHARDS: usize = 16;
+
+/// A level is materialized only when its per-dimension prefixes pack into
+/// this many bits — a sanity bound on the worst-case cell count (2^32) and
+/// a guarantee the packed key fits `u128` with room to spare.
+pub const MAX_CELL_BITS: u32 = 32;
+
+/// Aggregates for every occupied cell of one hierarchy level.
+struct LevelTable {
+    level: usize,
+    /// Per dim: bits below the level (`coord >> rem` is the cell prefix).
+    rems: Vec<u32>,
+    /// Per dim: bit offset of the prefix within the packed cell key.
+    offsets: Vec<u32>,
+    /// Per dim: prefix width in bits.
+    widths: Vec<u32>,
+    cells: Vec<Mutex<HashMap<u128, Aggregate>>>,
+}
+
+impl LevelTable {
+    fn key(&self, coords: &[u64]) -> u128 {
+        let mut key = 0u128;
+        for (d, &c) in coords.iter().enumerate() {
+            key |= ((c >> self.rems[d]) as u128) << self.offsets[d];
+        }
+        key
+    }
+
+    fn shard(key: u128) -> usize {
+        let h = (key as u64) ^ ((key >> 64) as u64);
+        (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize & (SHARDS - 1)
+    }
+
+    fn add(&self, coords: &[u64], measure: f64) {
+        let key = self.key(coords);
+        self.cells[Self::shard(key)]
+            .lock()
+            .entry(key)
+            .or_insert_with(Aggregate::empty)
+            .add(measure);
+    }
+
+    /// Merge every occupied cell whose prefix tuple lies inside the query's
+    /// per-dimension prefix ranges. Exact for queries aligned at this level.
+    fn answer(&self, q: &QueryBox) -> Aggregate {
+        let pranges: Vec<(u64, u64)> = q
+            .ranges
+            .iter()
+            .enumerate()
+            .map(|(d, &(lo, hi))| (lo >> self.rems[d], hi >> self.rems[d]))
+            .collect();
+        let mut agg = Aggregate::empty();
+        for shard in &self.cells {
+            let map = shard.lock();
+            'cells: for (&key, cell) in map.iter() {
+                for (d, &(plo, phi)) in pranges.iter().enumerate() {
+                    let w = self.widths[d];
+                    let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+                    let p = ((key >> self.offsets[d]) as u64) & mask;
+                    if p < plo || p > phi {
+                        continue 'cells;
+                    }
+                }
+                agg.merge(cell);
+            }
+        }
+        agg
+    }
+
+    /// Occupied cells (observability).
+    fn occupied(&self) -> u64 {
+        self.cells.iter().map(|s| s.lock().len() as u64).sum()
+    }
+}
+
+/// Per-shard materialized rollups for hierarchy levels `1..=rollup_levels`.
+pub struct RollupTable {
+    schema: Schema,
+    /// Coarsest first, so a query aligned at several levels uses the one
+    /// with the fewest cells.
+    levels: Vec<LevelTable>,
+}
+
+impl RollupTable {
+    /// Materialize levels `1..=max_levels` (clamped to the schema's depth).
+    /// Stops at the first level whose packed prefix width exceeds
+    /// [`MAX_CELL_BITS`] — deeper levels are strictly wider.
+    pub fn new(schema: &Schema, max_levels: usize) -> Self {
+        let mut levels = Vec::new();
+        for lvl in 1..=max_levels.min(schema.max_depth()) {
+            let (mut rems, mut offsets, mut widths) = (Vec::new(), Vec::new(), Vec::new());
+            let mut off = 0u32;
+            for d in 0..schema.dims() {
+                let dim = schema.dim(d);
+                let rem = dim.remaining_bits(lvl.min(dim.depth()));
+                let w = dim.total_bits() - rem;
+                rems.push(rem);
+                offsets.push(off);
+                widths.push(w);
+                off += w;
+            }
+            if off > MAX_CELL_BITS {
+                break;
+            }
+            levels.push(LevelTable {
+                level: lvl,
+                rems,
+                offsets,
+                widths,
+                cells: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            });
+        }
+        Self { schema: schema.clone(), levels }
+    }
+
+    /// True when no level passed the width gate (the table is inert).
+    pub fn is_inert(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Fold one item into every materialized level.
+    pub fn add(&self, coords: &[u64], measure: f64) {
+        for lt in &self.levels {
+            lt.add(coords, measure);
+        }
+    }
+
+    /// Answer `q` entirely from the coarsest aligned materialized level.
+    /// `None` for unconstrained queries (the root's cached aggregate is
+    /// cheaper and already handled) and for boxes not aligned at any
+    /// materialized level — those fall through to the tree walk.
+    pub fn try_answer(&self, q: &QueryBox) -> Option<Aggregate> {
+        if !q.constrains_any(&self.schema) {
+            return None;
+        }
+        let lt = self.levels.iter().find(|lt| q.aligned_at_level(&self.schema, lt.level))?;
+        Some(lt.answer(q))
+    }
+
+    /// `(level, occupied cells)` per materialized level (observability).
+    pub fn level_stats(&self) -> Vec<(usize, u64)> {
+        self.levels.iter().map(|lt| (lt.level, lt.occupied())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volap_dims::Item;
+
+    fn brute(items: &[Item], q: &QueryBox) -> Aggregate {
+        let mut a = Aggregate::empty();
+        for it in items.iter().filter(|it| q.contains_item(it)) {
+            a.add(it.measure);
+        }
+        a
+    }
+
+    #[test]
+    fn aligned_queries_match_brute_force() {
+        let s = Schema::uniform(3, 2, 8); // 6 bits/dim, level-1 cells span 8
+        let r = RollupTable::new(&s, 2);
+        assert!(!r.is_inert());
+        let mut items = Vec::new();
+        let mut state = 7u64;
+        for i in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let it = Item::new(vec![state % 64, (state >> 13) % 64, (state >> 29) % 64], i as f64);
+            r.add(&it.coords, it.measure);
+            items.push(it);
+        }
+        let aligned = [
+            vec![(0, 7), (0, 63), (0, 63)],
+            vec![(8, 23), (16, 31), (0, 63)],
+            vec![(56, 63), (0, 63), (40, 47)],
+            vec![(9, 9), (0, 63), (0, 63)], // level-2 (leaf) aligned only
+        ];
+        for ranges in aligned {
+            let q = QueryBox::from_ranges(ranges);
+            let got = r.try_answer(&q).expect("aligned query must hit a rollup");
+            let want = brute(&items, &q);
+            assert_eq!(got.count, want.count);
+            assert!((got.sum - want.sum).abs() <= 1e-6 * want.sum.abs().max(1.0));
+            if got.count > 0 {
+                assert_eq!(got.min, want.min);
+                assert_eq!(got.max, want.max);
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_and_unconstrained_queries_fall_through() {
+        let s = Schema::uniform(3, 2, 8);
+        let r = RollupTable::new(&s, 1);
+        r.add(&[1, 2, 3], 1.0);
+        assert!(r.try_answer(&QueryBox::all(&s)).is_none(), "root aggregate handles ALL");
+        let partial = QueryBox::from_ranges(vec![(3, 12), (0, 63), (0, 63)]);
+        assert!(r.try_answer(&partial).is_none(), "partial cells need a tree walk");
+    }
+
+    #[test]
+    fn wide_schemas_gate_materialization() {
+        // tpcds level-1 prefixes total 40 bits > MAX_CELL_BITS.
+        let s = Schema::tpcds();
+        let r = RollupTable::new(&s, 3);
+        assert!(r.is_inert());
+        assert!(r.try_answer(&QueryBox::from_paths(
+            &s,
+            &(0..s.dims()).map(volap_dims::DimPath::root).collect::<Vec<_>>()
+        )).is_none());
+    }
+}

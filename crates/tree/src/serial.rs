@@ -78,6 +78,7 @@ pub fn bulk_load<K: Key>(tree: &ConcurrentTree<K>, items: Vec<Item>) {
         return;
     }
     let count = items.len() as u64;
+    tree.rollup_add_items(&items);
     let mut entries: Vec<Entry> = items.iter().map(|it| tree.entry_of(it)).collect();
     if tree.mapper().is_some() {
         entries.sort_by(|a, b| a.hkey.cmp(&b.hkey));
@@ -206,6 +207,34 @@ mod tests {
             expect.add(it.measure);
         }
         assert!((total.sum - expect.sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bulk_load_maintains_rollups_and_encodings() {
+        let schema = Schema::uniform(3, 2, 8);
+        let cfg = TreeConfig { rollup_levels: 1, ..TreeConfig::default() };
+        let tree: ConcurrentTree<Mds> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Hilbert { expand: true }, cfg);
+        // Dictionary-friendly data: 8 distinct values per dimension.
+        let data: Vec<Item> = items(2000, &schema)
+            .into_iter()
+            .map(|it| Item::new(it.coords.iter().map(|c| c % 8).collect(), it.measure))
+            .collect();
+        bulk_load(&tree, data.clone());
+        let q = QueryBox::from_ranges(vec![(0, 7), (0, 63), (0, 63)]);
+        let (agg, trace) = tree.query_traced(&q);
+        assert_eq!(trace.rollup_hits, 1, "bulk load must feed the rollup table");
+        let mut expect = Aggregate::empty();
+        for it in data.iter().filter(|it| q.contains_item(it)) {
+            expect.add(it.measure);
+        }
+        assert_eq!(agg.count, expect.count);
+        assert!((agg.sum - expect.sum).abs() < 1e-6);
+        // Bulk-built leaves choose dictionary encodings for low-cardinality
+        // columns.
+        let st = tree.structure();
+        assert!(st.col_stats.dict_columns > 0, "low-cardinality columns must encode");
+        assert!(st.col_stats.stored_bytes * 2 <= st.col_stats.plain_bytes);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use volap_dims::{Aggregate, Item, Key, Mbr, Mds, QueryBox, Schema};
 
 use crate::array::ArrayStore;
+use crate::leaf::ColumnStats;
 use crate::serial::{bulk_load, decode_items, encode_items};
 use crate::split::SplitPlan;
 use crate::tree::{ConcurrentTree, InsertPolicy, QueryTrace, TreeConfig};
@@ -118,18 +119,31 @@ pub struct StoreStats {
     /// Cumulative tree node splits performed by inserts (0 for the array
     /// store, which never splits nodes).
     pub node_splits: u64,
+    /// Leaf column encoding footprint (zeroed for the array store, which has
+    /// no columnar leaves).
+    pub col_stats: ColumnStats,
 }
 
 impl StoreStats {
     /// These statistics as trace-span `key:value` annotations — what a
-    /// `tree_exec` span reports about the structure it scanned.
+    /// `tree_exec` span reports about the structure it scanned, including
+    /// the per-column encoding wins (`shard_split` events carry these so
+    /// heat/audit tooling can see memory savings).
     pub fn annotations(&self) -> Vec<(String, String)> {
-        vec![
+        let mut out = vec![
             ("items".into(), self.items.to_string()),
             ("dirs".into(), self.dirs.to_string()),
             ("leaves".into(), self.leaves.to_string()),
             ("height".into(), self.height.to_string()),
-        ]
+        ];
+        if self.col_stats.columns > 0 {
+            let c = &self.col_stats;
+            out.push(("enc_dict_cols".into(), format!("{}/{}", c.dict_columns, c.columns)));
+            out.push(("enc_dict_entries".into(), c.dict_entries.to_string()));
+            out.push(("enc_bits_per_value".into(), format!("{:.1}", c.bits_per_value())));
+            out.push(("enc_ratio".into(), format!("{:.2}", c.ratio())));
+        }
+        out
     }
 }
 
@@ -267,6 +281,7 @@ impl<K: Key> ShardStore for TreeShard<K> {
             leaves: s.leaves,
             height: s.height,
             node_splits: self.tree.node_splits(),
+            col_stats: s.col_stats,
         }
     }
     fn split(&self, plan: &SplitPlan) -> (Box<dyn ShardStore>, Box<dyn ShardStore>) {
@@ -314,7 +329,14 @@ impl ShardStore for ArrayShard {
         self.store.items()
     }
     fn stats(&self) -> StoreStats {
-        StoreStats { items: self.store.len(), dirs: 0, leaves: 1, height: 1, node_splits: 0 }
+        StoreStats {
+            items: self.store.len(),
+            dirs: 0,
+            leaves: 1,
+            height: 1,
+            node_splits: 0,
+            col_stats: ColumnStats::default(),
+        }
     }
     fn split(&self, plan: &SplitPlan) -> (Box<dyn ShardStore>, Box<dyn ShardStore>) {
         let (left, right): (Vec<Item>, Vec<Item>) =
@@ -394,6 +416,36 @@ mod tests {
             assert_eq!(back.query(&q).count, store.query(&q).count, "{kind}");
             assert_eq!(back.kind(), kind);
         }
+    }
+
+    #[test]
+    fn serialize_roundtrip_reencodes_columns() {
+        // A migrated shard must not silently degrade to raw columns: the
+        // blob carries raw items, so the receiving worker's deserialize path
+        // must re-run the (deterministic) encoding pass and land on the same
+        // footprint as the sender.
+        let schema = Schema::uniform(3, 2, 8);
+        // Dictionary-friendly data: 8 distinct values per dimension.
+        let data: Vec<Item> = items(2000, &schema)
+            .into_iter()
+            .map(|it| Item::new(it.coords.iter().map(|c| c % 8).collect(), it.measure))
+            .collect();
+        let cfg = TreeConfig { rollup_levels: 1, ..TreeConfig::default() };
+        let store = build_store(StoreKind::HilbertPdcMds, &schema, &cfg);
+        store.bulk_insert(data);
+        let sent = store.stats();
+        assert!(sent.col_stats.dict_columns > 0, "sender must have encoded columns");
+        let back = deserialize_store(StoreKind::HilbertPdcMds, &schema, &cfg, &store.serialize())
+            .unwrap();
+        let got = back.stats();
+        assert_eq!(got.col_stats, sent.col_stats, "migration must preserve the encoding footprint");
+        // Rollups are rebuilt on the receiving side as well.
+        let q = QueryBox::from_ranges(vec![(0, 7), (0, 63), (0, 63)]);
+        let (agg, trace) = back.query_traced(&q);
+        let (want, _) = store.query_traced(&q);
+        assert_eq!(trace.rollup_hits, 1);
+        assert_eq!(agg.count, want.count);
+        assert!((agg.sum - want.sum).abs() < 1e-6);
     }
 
     #[test]

@@ -7,7 +7,8 @@ use parking_lot::{ArcRwLockWriteGuard, Mutex, RwLock};
 use volap_dims::{Aggregate, HilbertMapper, Item, Key, Mbr, QueryBox, Schema};
 use volap_hilbert::BigIndex;
 
-use crate::leaf::LeafColumns;
+use crate::leaf::{ColumnStats, LeafColumns};
+use crate::rollup::RollupTable;
 
 /// Sizing and fill parameters shared by all tree variants.
 #[derive(Debug, Clone)]
@@ -23,11 +24,26 @@ pub struct TreeConfig {
     /// the paper's *conventional* R-tree baselines (Figure 5), which must
     /// visit every item a query covers.
     pub aggregate_cache: bool,
+    /// Whether leaf coordinate columns choose dictionary/bit-packed
+    /// encodings at build and split time (see [`crate::leaf`]). Purely a
+    /// memory/scan-speed trade; results are identical either way.
+    pub column_compression: bool,
+    /// How many coarse hierarchy levels to materialize as per-cell rollup
+    /// aggregates (see [`crate::rollup`]). `0` disables rollups; queries
+    /// aligned at a materialized level skip the tree walk entirely.
+    pub rollup_levels: usize,
 }
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { leaf_cap: 64, dir_cap: 16, min_fill: 0.35, aggregate_cache: true }
+        Self {
+            leaf_cap: 64,
+            dir_cap: 16,
+            min_fill: 0.35,
+            aggregate_cache: true,
+            column_compression: true,
+            rollup_levels: 0,
+        }
     }
 }
 
@@ -134,17 +150,21 @@ pub struct QueryTrace {
     pub items_scanned: u64,
     /// Directory entries pruned (no overlap).
     pub pruned: u64,
+    /// Queries answered entirely from a materialized level rollup (no tree
+    /// walk at all).
+    pub rollup_hits: u64,
 }
 
 impl QueryTrace {
-    /// Combine counters from another (partial) traversal. All four fields
-    /// are order-independent sums, so parallel per-task traces merge into
+    /// Combine counters from another (partial) traversal. All fields are
+    /// order-independent sums, so parallel per-task traces merge into
     /// exactly the trace a sequential traversal of the same tree produces.
     pub fn merge(&mut self, other: &QueryTrace) {
         self.nodes_visited += other.nodes_visited;
         self.covered_hits += other.covered_hits;
         self.items_scanned += other.items_scanned;
         self.pruned += other.pruned;
+        self.rollup_hits += other.rollup_hits;
     }
 }
 
@@ -171,6 +191,9 @@ pub struct ConcurrentTree<K: Key> {
     /// state queries allocate nothing (one stack replaces the per-directory
     /// `Vec` the recursive walk used to build).
     stack_pool: Mutex<Vec<Vec<Arc<Node<K>>>>>,
+    /// Materialized hierarchy-level rollups (`None` unless
+    /// `cfg.rollup_levels > 0` and the schema passes the width gate).
+    rollup: Option<RollupTable>,
 }
 
 impl<K: Key> ConcurrentTree<K> {
@@ -182,6 +205,9 @@ impl<K: Key> ConcurrentTree<K> {
             InsertPolicy::Geometric => None,
             InsertPolicy::Hilbert { expand } => Some(HilbertMapper::new(&schema, expand)),
         };
+        let rollup = (cfg.rollup_levels > 0)
+            .then(|| RollupTable::new(&schema, cfg.rollup_levels))
+            .filter(|r| !r.is_inert());
         Self {
             root: RwLock::new(new_leaf(LeafColumns::new(schema.dims()), Aggregate::empty())),
             schema,
@@ -191,6 +217,7 @@ impl<K: Key> ConcurrentTree<K> {
             len: AtomicU64::new(0),
             node_splits: AtomicU64::new(0),
             stack_pool: Mutex::new(Vec::new()),
+            rollup,
         }
     }
 
@@ -241,8 +268,23 @@ impl<K: Key> ConcurrentTree<K> {
     /// visible to later queries.
     pub fn insert(&self, item: &Item) {
         debug_assert_eq!(item.coords.len(), self.schema.dims());
+        if let Some(r) = &self.rollup {
+            r.add(&item.coords, item.measure);
+        }
         let entry = self.entry_of(item);
         self.insert_entry(item, entry);
+    }
+
+    /// Fold `items` into the rollup table (if any). Maintenance lives at the
+    /// public insert/bulk-load boundary only — never inside `insert_entry`,
+    /// which batch fallbacks re-enter — so every item is counted exactly
+    /// once.
+    pub(crate) fn rollup_add_items(&self, items: &[Item]) {
+        if let Some(r) = &self.rollup {
+            for it in items {
+                r.add(&it.coords, it.measure);
+            }
+        }
     }
 
     /// The per-item insert path, with the entry (and its Hilbert key)
@@ -323,10 +365,13 @@ impl<K: Key> ConcurrentTree<K> {
     /// The geometric policy has no key order to exploit and degenerates to
     /// the per-item loop.
     pub fn insert_batch(&self, items: &[Item]) {
+        self.rollup_add_items(items);
         let use_runs = self.mapper.is_some() && items.len() >= 2;
         if !use_runs {
             for it in items {
-                self.insert(it);
+                debug_assert_eq!(it.coords.len(), self.schema.dims());
+                let entry = self.entry_of(it);
+                self.insert_entry(it, entry);
             }
             return;
         }
@@ -561,13 +606,20 @@ impl<K: Key> ConcurrentTree<K> {
                 }
             }
         }
-        DirEntry { key, lhv, node: new_leaf(LeafColumns::from_entries(self.schema.dims(), entries), agg) }
+        let mut cols = LeafColumns::from_entries(self.schema.dims(), entries);
+        if self.cfg.column_compression {
+            cols.encode();
+        }
+        DirEntry { key, lhv, node: new_leaf(cols, agg) }
     }
 
     /// Parent slot for an already-key-sorted columnar leaf (Hilbert policy):
     /// the LHV is simply the last row's key, and the slot key is built by
     /// streaming rows through one reused coordinate buffer.
-    fn make_hilbert_leaf_slot(&self, cols: LeafColumns) -> DirEntry<K> {
+    fn make_hilbert_leaf_slot(&self, mut cols: LeafColumns) -> DirEntry<K> {
+        if self.cfg.column_compression {
+            cols.encode();
+        }
         let n = cols.len();
         let mut key = K::empty(&self.schema);
         let mut agg = Aggregate::empty();
@@ -718,6 +770,9 @@ impl<K: Key> ConcurrentTree<K> {
     /// across calls, so the steady state performs no allocation at all.
     pub fn query_traced(&self, q: &QueryBox) -> (Aggregate, QueryTrace) {
         debug_assert_eq!(q.dims(), self.schema.dims());
+        if let Some((agg, trace)) = self.rollup_answer(q) {
+            return (agg, trace);
+        }
         let mut agg = Aggregate::empty();
         let mut trace = QueryTrace::default();
         let mut stack = self.stack_pool.lock().pop().unwrap_or_default();
@@ -730,6 +785,16 @@ impl<K: Key> ConcurrentTree<K> {
             pool.push(stack);
         }
         (agg, trace)
+    }
+
+    /// Try to answer `q` from the materialized rollups: succeeds only for
+    /// constrained boxes aligned at a materialized level (unconstrained
+    /// queries stay on the cheaper root-aggregate coverage path). A hit
+    /// skips the tree walk entirely, so the only non-zero counter is
+    /// `rollup_hits`.
+    fn rollup_answer(&self, q: &QueryBox) -> Option<(Aggregate, QueryTrace)> {
+        let agg = self.rollup.as_ref()?.try_answer(q)?;
+        Some((agg, QueryTrace { rollup_hits: 1, ..QueryTrace::default() }))
     }
 
     /// Process one node: scan it if a leaf, otherwise prune / consume cached
@@ -790,6 +855,9 @@ impl<K: Key> ConcurrentTree<K> {
     /// small trees pay no scope-setup overhead.
     pub fn query_par_with(&self, q: &QueryBox, cutoff: u64) -> (Aggregate, QueryTrace) {
         debug_assert_eq!(q.dims(), self.schema.dims());
+        if let Some((agg, trace)) = self.rollup_answer(q) {
+            return (agg, trace);
+        }
         let cutoff = cutoff.max(1);
         if self.len() < cutoff.saturating_mul(2) {
             return self.query_traced(q);
@@ -911,6 +979,7 @@ impl<K: Key> ConcurrentTree<K> {
             NodeChildren::Leaf(entries) => {
                 s.leaves += 1;
                 s.leaf_entries += entries.len() as u64;
+                entries.column_stats(&mut s.col_stats);
             }
             NodeChildren::Dir(entries) => {
                 s.dirs += 1;
@@ -960,6 +1029,8 @@ pub struct TreeStructure {
     pub leaf_entries: u64,
     /// Tree height (1 = a single leaf).
     pub height: u32,
+    /// Leaf column encoding footprint, accumulated over every leaf.
+    pub col_stats: ColumnStats,
 }
 
 /// Sort leaf entries along the dimension with the widest coordinate spread
@@ -1110,6 +1181,41 @@ mod tests {
         // The whole-database query must be answered at the root's children.
         assert!(trace.covered_hits >= 1);
         assert_eq!(trace.items_scanned, 0, "full coverage must not scan leaves");
+    }
+
+    #[test]
+    fn rollup_answers_aligned_queries_without_walking() {
+        let schema = Schema::uniform(3, 2, 8);
+        let cfg = TreeConfig { rollup_levels: 2, ..small_cfg() };
+        let tree: ConcurrentTree<Mds> =
+            ConcurrentTree::new(schema.clone(), InsertPolicy::Hilbert { expand: true }, cfg);
+        let items = items_grid(&schema, 1500);
+        // Mix single and batch inserts: both maintain the rollup exactly
+        // once per item (the batch path's split fallback must not re-add).
+        for it in &items[..500] {
+            tree.insert(it);
+        }
+        tree.insert_batch(&items[500..]);
+        let q = QueryBox::from_ranges(vec![(8, 15), (0, 63), (16, 31)]);
+        let mut expect = Aggregate::empty();
+        for it in items.iter().filter(|it| q.contains_item(it)) {
+            expect.add(it.measure);
+        }
+        let (agg, trace) = tree.query_traced(&q);
+        assert_eq!(trace.rollup_hits, 1);
+        assert_eq!(trace.nodes_visited, 0, "a rollup hit never walks the tree");
+        assert_eq!(trace.items_scanned, 0);
+        assert_eq!(agg.count, expect.count);
+        assert!((agg.sum - expect.sum).abs() < 1e-6);
+        assert_eq!(agg.min, expect.min);
+        assert_eq!(agg.max, expect.max);
+        // The parallel entry point short-circuits identically.
+        let (pagg, ptrace) = tree.query_par_with(&q, 1);
+        assert_eq!(ptrace.rollup_hits, 1);
+        assert_eq!(pagg.count, expect.count);
+        // Unconstrained queries stay on the root-aggregate coverage path.
+        let (_, full) = tree.query_traced(&QueryBox::all(&schema));
+        assert_eq!(full.rollup_hits, 0);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property tests for materialized hierarchy-level rollups: a store with
+//! rollups answers every query — aligned (rollup-served) or not (leaf
+//! scan) — with the same aggregate as a rollup-less store and the
+//! brute-force oracle, and the invariant survives shard splits and
+//! serialize/deserialize migration.
+
+use proptest::prelude::*;
+use volap_dims::{Aggregate, DimPath, Item, QueryBox, Schema};
+use volap_tree::{build_store, deserialize_store, ShardStore, StoreKind, TreeConfig};
+
+fn schema() -> Schema {
+    // 3 dims × 2 levels of fanout 4: level-1 cells span 4 ordinals, both
+    // rollup levels fit far under the cell-key width gate.
+    Schema::uniform(3, 2, 4)
+}
+
+fn items_strategy() -> impl Strategy<Value = Vec<Item>> {
+    prop::collection::vec((prop::collection::vec(0u64..16, 3), 0u32..100), 1..250)
+        .prop_map(|raw| raw.into_iter().map(|(c, m)| Item::new(c, m as f64)).collect())
+}
+
+/// Hierarchy-aligned query: per dim a root / level-1 / leaf path. These are
+/// the shapes rollups exist for.
+fn aligned_query_strategy() -> impl Strategy<Value = QueryBox> {
+    prop::collection::vec((0usize..=2, 0u64..16), 3).prop_map(|per_dim| {
+        let s = schema();
+        let paths: Vec<DimPath> = per_dim
+            .into_iter()
+            .enumerate()
+            .map(|(d, (level, v))| match level {
+                0 => DimPath::root(d),
+                1 => DimPath::new(d, vec![v % 4]),
+                _ => DimPath::new(d, vec![(v / 4) % 4, v % 4]),
+            })
+            .collect();
+        QueryBox::from_paths(&s, &paths)
+    })
+}
+
+/// Arbitrary ranges — almost never aligned, so these exercise the
+/// fall-through to the ordinary traversal.
+fn ragged_query_strategy() -> impl Strategy<Value = QueryBox> {
+    prop::collection::vec((0u64..16, 0u64..16), 3)
+        .prop_map(|v| QueryBox::from_ranges(v.into_iter().map(|(a, b)| (a.min(b), a.max(b))).collect()))
+}
+
+fn brute(items: &[Item], q: &QueryBox) -> Aggregate {
+    let mut a = Aggregate::empty();
+    for it in items.iter().filter(|it| q.contains_item(it)) {
+        a.add(it.measure);
+    }
+    a
+}
+
+fn build(items: &[Item], rollup_levels: usize) -> Box<dyn ShardStore> {
+    let cfg = TreeConfig { leaf_cap: 8, dir_cap: 4, rollup_levels, ..TreeConfig::default() };
+    let store = build_store(StoreKind::HilbertPdcMds, &schema(), &cfg);
+    for it in items {
+        store.insert(it);
+    }
+    store
+}
+
+/// Exact count/min/max, approximate sum: the rollup accumulates measures in
+/// cell order, the leaf scan in traversal order, so the f64 sums may differ
+/// by rounding but nothing else.
+fn assert_agg_matches(got: &Aggregate, want: &Aggregate) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.count, want.count);
+    prop_assert!((got.sum - want.sum).abs() < 1e-6);
+    if want.count > 0 {
+        prop_assert_eq!(got.min.to_bits(), want.min.to_bits());
+        prop_assert_eq!(got.max.to_bits(), want.max.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rollup-equipped stores agree with a rollup-less store and the oracle
+    /// on aligned and ragged queries alike, and constrained level-1-aligned
+    /// queries are actually served by the rollup table.
+    #[test]
+    fn rollup_answers_equal_leaf_scans(
+        items in items_strategy(),
+        aligned in prop::collection::vec(aligned_query_strategy(), 1..5),
+        ragged in prop::collection::vec(ragged_query_strategy(), 1..5),
+    ) {
+        let plain = build(&items, 0);
+        for levels in [1usize, 2] {
+            let rolled = build(&items, levels);
+            for q in aligned.iter().chain(ragged.iter()) {
+                let (agg, trace) = rolled.query_traced(q);
+                let want = brute(&items, q);
+                assert_agg_matches(&agg, &want)?;
+                assert_agg_matches(&plain.query(q), &want)?;
+                let s = schema();
+                let should_hit = q.constrains_any(&s)
+                    && (1..=levels).any(|l| q.aligned_at_level(&s, l));
+                prop_assert_eq!(
+                    trace.rollup_hits,
+                    u64::from(should_hit),
+                    "query {:?} at {} level(s)", &q.ranges, levels
+                );
+                if should_hit {
+                    prop_assert_eq!(trace.nodes_visited, 0, "rollup answers must not walk");
+                }
+            }
+        }
+    }
+
+    /// Splitting a rollup-equipped shard yields two shards whose rollups are
+    /// consistent: merged halves equal the oracle, and aligned queries are
+    /// still rollup-served on both sides.
+    #[test]
+    fn rollups_survive_shard_splits(
+        items in items_strategy(),
+        queries in prop::collection::vec(aligned_query_strategy(), 1..5),
+    ) {
+        let store = build(&items, 1);
+        if let Some(plan) = store.split_query() {
+            let (left, right) = store.split(&plan);
+            prop_assert_eq!(left.len() + right.len(), items.len() as u64);
+            for q in &queries {
+                let (la, lt) = left.query_traced(q);
+                let (ra, rt) = right.query_traced(q);
+                let mut merged = la;
+                merged.merge(&ra);
+                assert_agg_matches(&merged, &brute(&items, q))?;
+                let s = schema();
+                if q.constrains_any(&s) && q.aligned_at_level(&s, 1) {
+                    prop_assert!(lt.rollup_hits == 1 && rt.rollup_hits == 1,
+                        "split halves must keep serving aligned queries from rollups");
+                }
+            }
+        }
+    }
+
+    /// Migration (serialize → deserialize on the receiver) rebuilds the
+    /// rollup table from the item stream: same answers, still rollup-served.
+    #[test]
+    fn rollups_survive_migration(
+        items in items_strategy(),
+        queries in prop::collection::vec(aligned_query_strategy(), 1..5),
+    ) {
+        let cfg = TreeConfig { leaf_cap: 8, dir_cap: 4, rollup_levels: 1, ..TreeConfig::default() };
+        let sender = build(&items, 1);
+        let blob = sender.serialize();
+        let receiver = deserialize_store(StoreKind::HilbertPdcMds, &schema(), &cfg, &blob)
+            .expect("self-serialized shard deserializes");
+        prop_assert_eq!(receiver.len(), items.len() as u64);
+        for q in &queries {
+            let (agg, trace) = receiver.query_traced(q);
+            assert_agg_matches(&agg, &brute(&items, q))?;
+            let s = schema();
+            if q.constrains_any(&s) && q.aligned_at_level(&s, 1) {
+                prop_assert_eq!(trace.rollup_hits, 1);
+            }
+        }
+    }
+}

@@ -103,6 +103,22 @@ impl ThreadPoolBuilder {
         self
     }
 
+    /// Size the process-global pool (the one behind [`scope`] / [`join`]).
+    ///
+    /// Must run before anything touches the global pool; once the pool has
+    /// been lazily initialized the requested size can no longer take effect
+    /// and an error is returned (matching upstream's
+    /// `GlobalPoolAlreadyInitialized` behavior).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        if global_pool_size().set(self.num_threads).is_err() {
+            return Err(ThreadPoolBuildError);
+        }
+        // Force initialization now so a later racing get_or_init cannot
+        // observe the size cell half-configured.
+        let _ = global_pool();
+        Ok(())
+    }
+
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
             default_parallelism()
@@ -286,15 +302,31 @@ where
 }
 
 fn default_parallelism() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
+/// Thread count requested via [`ThreadPoolBuilder::build_global`] (`0` =
+/// default parallelism); consulted once when the global pool first builds.
+fn global_pool_size() -> &'static OnceLock<usize> {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    &SIZE
+}
+
 fn global_pool() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
     GLOBAL.get_or_init(|| {
+        let requested = *global_pool_size().get_or_init(|| 0);
         ThreadPoolBuilder::new()
+            .num_threads(requested)
             .thread_name(|_| "rayon-global".to_string())
             .build()
             .expect("global pool")
@@ -436,5 +468,14 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(join(|| 2 + 2, || "ok"), (4, "ok"));
+    }
+
+    #[test]
+    fn build_global_sizes_the_global_pool() {
+        // No other test in this binary touches the global pool, so the
+        // requested size must win; a second request must then fail.
+        ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(current_num_threads(), 3);
+        assert!(ThreadPoolBuilder::new().num_threads(5).build_global().is_err());
     }
 }

@@ -50,6 +50,7 @@ fn trace_totals(trace: &Trace) -> QueryTrace {
             covered_hits: get("covered_hits"),
             items_scanned: get("items_scanned"),
             pruned: get("pruned"),
+            rollup_hits: get("rollup_hits"),
         });
     }
     t
