@@ -1,0 +1,162 @@
+//! Lock-telemetry overhead guard, recorded to `BENCH_lock.json`.
+//!
+//! Every mutex and rwlock in the cluster is an instrumented wrapper
+//! (`volap_obs::lock`): the uncontended fast path with telemetry on is one
+//! try-acquire plus one relaxed counter increment, and with telemetry off a
+//! single relaxed load and a branch in front of the raw parking_lot
+//! acquire. This bench drives ingest and query workloads through one
+//! long-lived cluster while toggling `lock::set_telemetry_enabled` between
+//! segments and compares throughput. The trimmed-mean ingest overhead of
+//! telemetry-on versus telemetry-off must stay within tolerance (default
+//! 3%, `LOCK_OVERHEAD_TOLERANCE` to override); the process exits non-zero
+//! otherwise (`--check` is accepted and is the same gated run, matching the
+//! other bench binaries' CI convention).
+//!
+//! Each round runs both configurations back to back in a rotating order,
+//! so the slow throughput decay from tree growth lands on both equally and
+//! cancels from the trimmed mean.
+//!
+//! `--no-run` skips the timing runs and instead smoke-tests the telemetry
+//! pipeline on a tiny cluster: runs a workload and verifies the snapshot's
+//! lock-class table accounts for the locks the workload must have taken.
+
+use std::time::Instant;
+
+use volap::{ClientSession, Cluster, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{Item, QueryBox, Schema};
+use volap_obs::lock;
+
+const ITEMS_PER_SEGMENT: usize = 8_000;
+const QUERIES_PER_SEGMENT: usize = 20;
+const ROUNDS: usize = 10; // even: each config sits in each slot equally
+const TRIM: usize = 2;
+
+/// `(inserts/s, queries/s)` for one measurement segment.
+fn segment(client: &ClientSession, items: &[Item], q: &QueryBox) -> (f64, f64) {
+    let t = Instant::now();
+    for item in items {
+        client.insert(item).expect("insert");
+    }
+    let ingest_rate = items.len() as f64 / t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for _ in 0..QUERIES_PER_SEGMENT {
+        client.query(q).expect("query");
+    }
+    let query_rate = QUERIES_PER_SEGMENT as f64 / t.elapsed().as_secs_f64();
+    (ingest_rate, query_rate)
+}
+
+fn trimmed_mean(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let kept = &v[TRIM..v.len() - TRIM];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn smoke() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = DataGen::new(&schema, 23, 1.2);
+    client.bulk_insert(gen.items(200)).expect("bulk");
+    client.query(&QueryBox::all(&schema)).expect("query");
+    let snap = cluster.snapshot();
+    cluster.shutdown();
+    for class in ["server.index", "worker.slot_state", "tree.node", "net.pending"] {
+        let l = snap
+            .lock_class(class)
+            .unwrap_or_else(|| panic!("smoke: lock class {class} missing from snapshot"));
+        assert!(l.acquisitions > 0, "smoke: {class} recorded no acquisitions");
+    }
+    assert_eq!(
+        snap.counter("volap_lock_order_violations_total"),
+        0,
+        "smoke: lock-order violations recorded on a clean workload"
+    );
+    println!(
+        "lock smoke OK: {} classes in the table, no order violations",
+        snap.locks.len()
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--no-run") {
+        smoke();
+        return;
+    }
+    let tolerance: f64 = std::env::var("LOCK_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let q = QueryBox::all(&schema);
+    let mut gen = DataGen::new(&schema, 29, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..2 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q);
+    }
+
+    // Telemetry on (the shipped default) vs off (raw parking_lot + one
+    // relaxed load per acquisition).
+    const CONFIGS: [bool; 2] = [true, false];
+    let mut ingest = [Vec::new(), Vec::new()];
+    let mut query = [Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for slot in 0..2 {
+            let which = (round + slot) % 2;
+            lock::set_telemetry_enabled(CONFIGS[which]);
+            let (i_rate, q_rate) = segment(&client, &gen.items(ITEMS_PER_SEGMENT), &q);
+            ingest[which].push(i_rate);
+            query[which].push(q_rate);
+        }
+        println!(
+            "round {round:>2}: ingest on {:>7.0}/s  off {:>7.0}/s",
+            ingest[0][round], ingest[1][round]
+        );
+    }
+    lock::set_telemetry_enabled(true);
+    cluster.shutdown();
+
+    let ing = [trimmed_mean(ingest[0].clone()), trimmed_mean(ingest[1].clone())];
+    let qry = [trimmed_mean(query[0].clone()), trimmed_mean(query[1].clone())];
+    let ingest_overhead = (ing[1] - ing[0]) / ing[1];
+    let query_overhead = (qry[1] - qry[0]) / qry[1];
+    let ok = ingest_overhead <= tolerance;
+    println!("ingest: on {:.0}/s  off {:.0}/s (trimmed means)", ing[0], ing[1]);
+    println!("query:  on {:.0}/s  off {:.0}/s (trimmed means)", qry[0], qry[1]);
+    println!(
+        "telemetry ingest overhead {:.2}% (tolerance {:.0}%) {}",
+        ingest_overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"lock_overhead\",\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+         \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
+         \"ingest_per_s\": {{\"telemetry_on\": {:.0}, \"telemetry_off\": {:.0}}},\n  \
+         \"query_per_s\": {{\"telemetry_on\": {:.0}, \"telemetry_off\": {:.0}}},\n  \
+         \"ingest_overhead_frac\": {ingest_overhead:.4},\n  \
+         \"query_overhead_frac\": {query_overhead:.4},\n  \
+         \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        ing[0], ing[1], qry[0], qry[1]
+    );
+    std::fs::write("BENCH_lock.json", &json).expect("write BENCH_lock.json");
+    println!("wrote BENCH_lock.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -21,9 +21,17 @@
 //!
 //! `--snapshot` shrinks the split threshold so the manager acts during the
 //! workload, then emits ONE machine-readable JSON document combining the
-//! metrics registry, the event ring, the shard heat map, and the balance
-//! audit trail — exiting non-zero if the document fails to re-parse, if
-//! the heat map is empty, or if no balance decision was audited.
+//! metrics registry, the event ring, the shard heat map, the lock-class
+//! table, and the balance audit trail — exiting non-zero if the document
+//! fails to re-parse, if the heat map is empty, if no balance decision was
+//! audited, or if the lock table is empty.
+//!
+//! `--locks` prints the per-class lock contention table (acquisitions,
+//! contended count, total wait, total timed hold) sorted by total wait,
+//! hottest first — exiting non-zero if either exposition is malformed, if
+//! no lock class recorded an acquisition, or if the classes the workload
+//! must touch (server routing index, worker slot states, tree nodes) are
+//! missing from the table.
 
 use std::time::{Duration, Instant};
 
@@ -202,9 +210,46 @@ fn main() {
                 );
             }
         }
+        "--locks" => {
+            if snap.locks.iter().all(|l| l.acquisitions == 0) {
+                fail("no lock class recorded an acquisition");
+            }
+            for class in ["server.index", "worker.slot_state", "tree.node"] {
+                if snap.lock_class(class).is_none() {
+                    fail(&format!("lock class {class} missing from the snapshot"));
+                }
+            }
+            let mut locks = snap.locks.clone();
+            locks.sort_by(|a, b| {
+                b.wait_sum_seconds
+                    .partial_cmp(&a.wait_sum_seconds)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.acquisitions.cmp(&a.acquisitions))
+            });
+            println!("# volap-stat: lock contention ({} classes, hottest first)", locks.len());
+            println!(
+                "# {:<20} {:>4} {:>12} {:>10} {:>9} {:>12} {:>12}",
+                "class", "rank", "acquisitions", "contended", "cont%", "wait_ms", "hold_ms"
+            );
+            for l in &locks {
+                println!(
+                    "# {:<20} {:>4} {:>12} {:>10} {:>8.2}% {:>12.3} {:>12.3}",
+                    l.class,
+                    l.rank,
+                    l.acquisitions,
+                    l.contended,
+                    l.contention_frac() * 100.0,
+                    l.wait_sum_seconds * 1e3,
+                    l.hold_sum_seconds * 1e3,
+                );
+            }
+        }
         "--snapshot" => {
             if snap.heat.is_empty() {
                 fail("snapshot carries no heat entries");
+            }
+            if snap.locks.is_empty() {
+                fail("snapshot carries no lock-class table");
             }
             if snap.audit.is_empty() {
                 fail("snapshot carries no balance-audit records (manager never acted)");

@@ -25,7 +25,19 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::RwLock;
+use volap_obs::lock::{LockClass, ObsRwLock};
+
+/// Coordination-store slice of the global lock hierarchy (DESIGN.md §15).
+/// `create_sequential` holds the sequence counter while inserting into the
+/// node map, so seq < nodes; every other pair is acquired sequentially via
+/// scoped blocks. Watch notification always runs with the node map already
+/// released, but watches still ranks last so a future combined path stays
+/// legal.
+static NEXT_SESSION_CLASS: LockClass = LockClass::new("coord.next_session", 70);
+static SESSIONS_CLASS: LockClass = LockClass::new("coord.sessions", 71);
+static SEQ_CLASS: LockClass = LockClass::new("coord.seq", 72);
+static NODES_CLASS: LockClass = LockClass::new("coord.nodes", 73);
+static WATCHES_CLASS: LockClass = LockClass::new("coord.watches", 74);
 
 /// Errors returned by the store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -103,11 +115,11 @@ struct SessionState {
 }
 
 struct CoordInner {
-    nodes: RwLock<BTreeMap<String, Znode>>,
-    watches: RwLock<Vec<(String, Sender<WatchEvent>)>>,
-    seq: RwLock<u64>,
-    sessions: RwLock<std::collections::HashMap<SessionId, SessionState>>,
-    next_session: RwLock<u64>,
+    nodes: ObsRwLock<BTreeMap<String, Znode>>,
+    watches: ObsRwLock<Vec<(String, Sender<WatchEvent>)>>,
+    seq: ObsRwLock<u64>,
+    sessions: ObsRwLock<std::collections::HashMap<SessionId, SessionState>>,
+    next_session: ObsRwLock<u64>,
 }
 
 /// The coordination store. Cloneable handle; all clones share state.
@@ -127,11 +139,11 @@ impl CoordService {
     pub fn new() -> Self {
         Self {
             inner: Arc::new(CoordInner {
-                nodes: RwLock::new(BTreeMap::new()),
-                watches: RwLock::new(Vec::new()),
-                seq: RwLock::new(0),
-                sessions: RwLock::new(std::collections::HashMap::new()),
-                next_session: RwLock::new(0),
+                nodes: ObsRwLock::new(&NODES_CLASS, BTreeMap::new()),
+                watches: ObsRwLock::new(&WATCHES_CLASS, Vec::new()),
+                seq: ObsRwLock::new(&SEQ_CLASS, 0),
+                sessions: ObsRwLock::new(&SESSIONS_CLASS, std::collections::HashMap::new()),
+                next_session: ObsRwLock::new(&NEXT_SESSION_CLASS, 0),
             }),
         }
     }

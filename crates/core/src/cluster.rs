@@ -9,11 +9,15 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use volap_coord::CoordService;
 use volap_dims::{Aggregate, Item, QueryBox, Schema};
 use volap_net::{Endpoint, Network};
+use volap_obs::lock::{CheckMode, LockClass, ObsMutex};
 use volap_obs::{Obs, ObsConfig, Snapshot, Trace, TraceConfig, Tracer};
+
+/// Handle list of the harness itself; held only for push/remove, never
+/// while any component lock is taken, but it ranks lowest so it could be.
+static WORKERS_CLASS: LockClass = LockClass::new("cluster.workers", 10);
 
 use crate::config::VolapConfig;
 use crate::image::ImageStore;
@@ -27,7 +31,7 @@ pub struct Cluster {
     net: Network,
     image: ImageStore,
     cfg: VolapConfig,
-    workers: Mutex<Vec<WorkerHandle>>,
+    workers: ObsMutex<Vec<WorkerHandle>>,
     servers: Vec<ServerHandle>,
     manager: Option<ManagerHandle>,
     bootstrap_ep: Endpoint,
@@ -40,6 +44,10 @@ impl Cluster {
     /// shards, then servers (which bootstrap from the image), then the
     /// manager.
     pub fn start(cfg: VolapConfig) -> Self {
+        // Arm (or disarm) the debug-build lock-order checker before the
+        // first service thread takes a lock. Release builds compile the
+        // checker out; setting the mode there is a no-op.
+        volap_obs::lock::set_check_mode(if cfg.lock_check { CheckMode::Panic } else { CheckMode::Off });
         let net = match cfg.net_latency {
             Some(lat) => Network::with_latency(lat),
             None => Network::new(),
@@ -58,6 +66,9 @@ impl Cluster {
         });
         net.attach_obs(obs.registry());
         net.attach_tracer(obs.tracer());
+        // Lock-order violations (Record mode) land in this deployment's
+        // event log alongside the rest of the structured events.
+        obs.install_lock_hook();
         let image = ImageStore::with_obs(coord, cfg.schema.clone(), obs);
         let bootstrap_ep = net.endpoint("bootstrap");
 
@@ -84,7 +95,7 @@ impl Cluster {
             net,
             image,
             cfg,
-            workers: Mutex::new(workers),
+            workers: ObsMutex::new(&WORKERS_CLASS, workers),
             servers,
             manager,
             bootstrap_ep,

@@ -101,6 +101,14 @@ pub struct VolapConfig {
     pub heat_halflife: Duration,
     /// Total load-balance decisions retained by the audit ring buffer.
     pub audit_capacity: usize,
+    /// Whether the runtime lock-order checker is armed (debug builds only;
+    /// release builds compile the checker out entirely). On, every lock
+    /// acquisition is validated against the global lock hierarchy
+    /// (DESIGN.md §15) via a thread-local held-lock stack, and a violation
+    /// panics with both class names. Off, acquisitions skip the check but
+    /// lock *telemetry* (contention counters and wait/hold histograms)
+    /// stays on — that is governed by `volap_obs::lock::set_telemetry_enabled`.
+    pub lock_check: bool,
     /// Head-based causal-tracing sample rate: one in every `trace_sample`
     /// client requests gets a full cross-component trace (server routing →
     /// net hops → worker queues → per-shard tree execution). `0` (the
@@ -144,6 +152,7 @@ impl VolapConfig {
             heat_enabled: true,
             heat_halflife: Duration::from_secs(2),
             audit_capacity: 1024,
+            lock_check: true,
             trace_sample: 0,
             trace_slow_threshold: Duration::from_millis(100),
         }

@@ -13,11 +13,21 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
 use volap_coord::EventKind;
 use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
+use volap_obs::lock::{self, LockClass, ObsMutex, ObsRwLock};
 use volap_obs::{Counter, Histogram, StalenessProbe, TraceCtx, Tracer};
+
+/// Server slice of the global lock hierarchy (DESIGN.md §15). The ingest
+/// buffer is drained *before* routing, so it ranks above nothing; the
+/// routing paths hold `index` while updating `locations` (bootstrap, image
+/// applies) and while folding expansions into `dirty` (bulk routing), so
+/// index < locations and index < dirty.
+static INGEST_CLASS: LockClass = LockClass::new("server.ingest", 20);
+static INDEX_CLASS: LockClass = LockClass::new("server.index", 21);
+static LOCATIONS_CLASS: LockClass = LockClass::new("server.locations", 22);
+static DIRTY_CLASS: LockClass = LockClass::new("server.dirty", 23);
 
 use crate::config::VolapConfig;
 use crate::image::{ImageStore, ShardRecord, SHARDS_PREFIX};
@@ -67,14 +77,14 @@ struct ServerState {
     cfg: VolapConfig,
     endpoint: Endpoint,
     image: ImageStore,
-    index: RwLock<ServerIndex>,
-    locations: RwLock<HashMap<u64, String>>,
+    index: ObsRwLock<ServerIndex>,
+    locations: ObsRwLock<HashMap<u64, String>>,
     /// Locally observed box expansions awaiting the next sync push.
-    dirty: Mutex<HashMap<u64, Mbr>>,
+    dirty: ObsMutex<HashMap<u64, Mbr>>,
     /// Buffered `ClientInsert`s awaiting a coalesced flush (only used when
     /// `cfg.ingest_batch > 1`): each entry keeps its reply handle so the
     /// client is acknowledged by its shard's bulk outcome.
-    ingest: Mutex<Vec<(Item, Incoming)>>,
+    ingest: ObsMutex<Vec<(Item, Incoming)>>,
     /// This server's local image generation: image records applied (at
     /// bootstrap or via watch events). ANALYZE plans and `route_miss`
     /// events stamp it so routing decisions can be ordered against image
@@ -114,10 +124,10 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         cfg: cfg.clone(),
         endpoint: endpoint.clone(),
         image: image.clone(),
-        index: RwLock::new(ServerIndex::new(cfg.schema.clone(), cfg.index_dir_cap)),
-        locations: RwLock::new(HashMap::new()),
-        dirty: Mutex::new(HashMap::new()),
-        ingest: Mutex::new(Vec::new()),
+        index: ObsRwLock::new(&INDEX_CLASS, ServerIndex::new(cfg.schema.clone(), cfg.index_dir_cap)),
+        locations: ObsRwLock::new(&LOCATIONS_CLASS, HashMap::new()),
+        dirty: ObsMutex::new(&DIRTY_CLASS, HashMap::new()),
+        ingest: ObsMutex::new(&INGEST_CLASS, Vec::new()),
         generation: AtomicU64::new(0),
         obs: ServerObs::new(image, name),
         tracer: image.obs().tracer().clone(),
@@ -272,7 +282,12 @@ fn traced_root<R>(
             let mut span = st.tracer.span(&ctx, name);
             span.annotate("op", op);
             span.annotate("server", st.name.clone());
+            let wait0 = lock::thread_wait_ns();
             let out = f(Some(&ctx));
+            let waited = lock::thread_wait_ns() - wait0;
+            if waited > 0 {
+                span.annotate("held_lock_wait_us", (waited / 1_000).to_string());
+            }
             let dur = span.finish();
             st.tracer.complete_root(&ctx, dur);
             out
@@ -343,30 +358,40 @@ fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
 fn route_insert(st: &Arc<ServerState>, item: &Item, trace: Option<&TraceCtx>) -> Response {
     let _timer = st.obs.insert_seconds.start();
     st.obs.inserts.inc();
-    let routed = st.index.write().route_insert(item);
-    let Some((shard, expanded)) = routed else {
-        return Response::Err("no shards available".into());
-    };
-    if expanded {
-        st.obs.expansions.inc();
-        st.obs.staleness.expansion(shard, &st.name);
-        let mut dirty = st.dirty.lock();
-        let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
-        entry.extend_item(&st.schema, item);
+    // Routing and location lookup are two steps under different locks, so a
+    // concurrent split can retire the routed shard in between (its record
+    // leaves the image once the halves are published). Re-routing through
+    // the refreshed index then lands on a half, so a bounded retry makes
+    // the window harmless.
+    let mut shard = 0;
+    for _ in 0..4 {
+        let routed = st.index.write().route_insert(item);
+        let Some((s, expanded)) = routed else {
+            return Response::Err("no shards available".into());
+        };
+        shard = s;
+        if expanded {
+            st.obs.expansions.inc();
+            st.obs.staleness.expansion(shard, &st.name);
+            let mut dirty = st.dirty.lock();
+            let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+            entry.extend_item(&st.schema, item);
+        }
+        let Some(dest) = shard_location(st, shard) else {
+            continue; // shard retired between routing and lookup: re-route
+        };
+        return match st.endpoint.request_traced(
+            &dest,
+            Request::Insert { shard, item: item.clone() }.encode(),
+            st.cfg.request_timeout,
+            trace,
+        ) {
+            Ok(bytes) => Response::decode(&st.schema, &bytes)
+                .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
+            Err(e) => Response::Err(format!("insert to {dest} failed: {e}")),
+        };
     }
-    let Some(dest) = shard_location(st, shard) else {
-        return Response::Err(format!("no location for shard {shard}"));
-    };
-    match st.endpoint.request_traced(
-        &dest,
-        Request::Insert { shard, item: item.clone() }.encode(),
-        st.cfg.request_timeout,
-        trace,
-    ) {
-        Ok(bytes) => Response::decode(&st.schema, &bytes)
-            .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
-        Err(e) => Response::Err(format!("insert to {dest} failed: {e}")),
-    }
+    Response::Err(format!("no location for shard {shard}"))
 }
 
 /// Buffer one client insert for coalesced routing. A full buffer is flushed
@@ -402,53 +427,62 @@ fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
 fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace: Option<&TraceCtx>) {
     let _timer = st.obs.ingest_flush_seconds.start();
     st.obs.inserts.add(batch.len() as u64);
-    let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
-    {
-        let mut index = st.index.write();
-        let mut dirty = st.dirty.lock();
-        for (item, msg) in batch {
-            let Some((shard, expanded)) = index.route_insert(&item) else {
-                reply(&msg, Response::Err("no shards available".into()));
+    // Items whose routed shard lost its location mid-flush (retired by a
+    // concurrent split) are re-routed through the refreshed index — see
+    // `route_insert` for the race.
+    let mut remaining = batch;
+    for _ in 0..4 {
+        let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
+        {
+            let mut index = st.index.write();
+            let mut dirty = st.dirty.lock();
+            for (item, msg) in remaining.drain(..) {
+                let Some((shard, expanded)) = index.route_insert(&item) else {
+                    reply(&msg, Response::Err("no shards available".into()));
+                    continue;
+                };
+                if expanded {
+                    st.obs.expansions.inc();
+                    st.obs.staleness.expansion(shard, &st.name);
+                    let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+                    entry.extend_item(&st.schema, &item);
+                }
+                let slot = by_shard.entry(shard).or_default();
+                slot.0.push(item);
+                slot.1.push(msg);
+            }
+        }
+        let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
+        let mut waiters: Vec<Vec<Incoming>> = Vec::with_capacity(by_shard.len());
+        for (shard, (items, msgs)) in by_shard {
+            let Some(dest) = shard_location(st, shard) else {
+                remaining.extend(items.into_iter().zip(msgs));
                 continue;
             };
-            if expanded {
-                st.obs.expansions.inc();
-                st.obs.staleness.expansion(shard, &st.name);
-                let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
-                entry.extend_item(&st.schema, &item);
+            requests.push((dest, Request::BulkInsert { shard, items }.encode()));
+            waiters.push(msgs);
+        }
+        let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
+        for ((result, (dest, _)), msgs) in replies.into_iter().zip(&requests).zip(waiters) {
+            let resp = match result {
+                Ok(bytes) => match Response::decode(&st.schema, &bytes) {
+                    Ok(Response::Ack) => Response::Ack,
+                    Ok(Response::Err(e)) => Response::Err(e),
+                    Ok(other) => Response::Err(format!("unexpected bulk response: {other:?}")),
+                    Err(e) => Response::Err(format!("bad bulk response: {e}")),
+                },
+                Err(e) => Response::Err(format!("bulk to {dest} failed: {e}")),
+            };
+            for m in msgs {
+                reply(&m, resp.clone());
             }
-            let slot = by_shard.entry(shard).or_default();
-            slot.0.push(item);
-            slot.1.push(msg);
+        }
+        if remaining.is_empty() {
+            return;
         }
     }
-    let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
-    let mut waiters: Vec<Vec<Incoming>> = Vec::with_capacity(by_shard.len());
-    for (shard, (items, msgs)) in by_shard {
-        let Some(dest) = shard_location(st, shard) else {
-            let err = Response::Err(format!("no location for shard {shard}"));
-            for m in &msgs {
-                reply(m, err.clone());
-            }
-            continue;
-        };
-        requests.push((dest, Request::BulkInsert { shard, items }.encode()));
-        waiters.push(msgs);
-    }
-    let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
-    for ((result, (dest, _)), msgs) in replies.into_iter().zip(&requests).zip(waiters) {
-        let resp = match result {
-            Ok(bytes) => match Response::decode(&st.schema, &bytes) {
-                Ok(Response::Ack) => Response::Ack,
-                Ok(Response::Err(e)) => Response::Err(e),
-                Ok(other) => Response::Err(format!("unexpected bulk response: {other:?}")),
-                Err(e) => Response::Err(format!("bad bulk response: {e}")),
-            },
-            Err(e) => Response::Err(format!("bulk to {dest} failed: {e}")),
-        };
-        for m in msgs {
-            reply(&m, resp.clone());
-        }
+    for (_, msg) in remaining {
+        reply(&msg, Response::Err("no location for routed shard after re-route retries".into()));
     }
 }
 
@@ -460,49 +494,58 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>, trace: Option<&Tra
     }
     let _timer = st.obs.bulk_insert_seconds.start();
     st.obs.inserts.add(items.len() as u64);
-    // Phase 1: route everything under one index lock.
-    let mut by_shard: HashMap<u64, Vec<Item>> = HashMap::new();
-    {
-        let mut index = st.index.write();
-        let mut dirty = st.dirty.lock();
-        for item in items {
-            let Some((shard, expanded)) = index.route_insert(&item) else {
-                return Response::Err("no shards available".into());
-            };
-            if expanded {
-                st.obs.expansions.inc();
-                st.obs.staleness.expansion(shard, &st.name);
-                let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
-                entry.extend_item(&st.schema, &item);
+    // Shards retired by a concurrent split mid-batch send their items back
+    // through the refreshed index — see `route_insert` for the race.
+    let mut remaining = items;
+    for _ in 0..4 {
+        // Phase 1: route everything under one index lock.
+        let mut by_shard: HashMap<u64, Vec<Item>> = HashMap::new();
+        {
+            let mut index = st.index.write();
+            let mut dirty = st.dirty.lock();
+            for item in remaining.drain(..) {
+                let Some((shard, expanded)) = index.route_insert(&item) else {
+                    return Response::Err("no shards available".into());
+                };
+                if expanded {
+                    st.obs.expansions.inc();
+                    st.obs.staleness.expansion(shard, &st.name);
+                    let entry = dirty.entry(shard).or_insert_with(|| Mbr::empty(&st.schema));
+                    entry.extend_item(&st.schema, &item);
+                }
+                by_shard.entry(shard).or_default().push(item);
             }
-            by_shard.entry(shard).or_default().push(item);
+        }
+        // Phase 2: one bulk request per shard, all in flight at once.
+        let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
+        for (shard, items) in by_shard {
+            let Some(dest) = shard_location(st, shard) else {
+                remaining.extend(items);
+                continue;
+            };
+            requests.push((dest, Request::BulkInsert { shard, items }.encode()));
+        }
+        for (reply, (dest, _)) in st
+            .endpoint
+            .request_many_traced(&requests, st.cfg.request_timeout, trace)
+            .into_iter()
+            .zip(&requests)
+        {
+            match reply {
+                Ok(bytes) => match Response::decode(&st.schema, &bytes) {
+                    Ok(Response::Ack) => {}
+                    Ok(Response::Err(e)) => return Response::Err(e),
+                    Ok(other) => return Response::Err(format!("unexpected bulk response: {other:?}")),
+                    Err(e) => return Response::Err(format!("bulk to {dest} failed: {e}")),
+                },
+                Err(e) => return Response::Err(format!("bulk to {dest} failed: {e}")),
+            }
+        }
+        if remaining.is_empty() {
+            return Response::Ack;
         }
     }
-    // Phase 2: one bulk request per shard, all in flight at once.
-    let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
-    for (shard, items) in by_shard {
-        let Some(dest) = shard_location(st, shard) else {
-            return Response::Err(format!("no location for shard {shard}"));
-        };
-        requests.push((dest, Request::BulkInsert { shard, items }.encode()));
-    }
-    for (reply, (dest, _)) in st
-        .endpoint
-        .request_many_traced(&requests, st.cfg.request_timeout, trace)
-        .into_iter()
-        .zip(&requests)
-    {
-        match reply {
-            Ok(bytes) => match Response::decode(&st.schema, &bytes) {
-                Ok(Response::Ack) => {}
-                Ok(Response::Err(e)) => return Response::Err(e),
-                Ok(other) => return Response::Err(format!("unexpected bulk response: {other:?}")),
-                Err(e) => return Response::Err(format!("bad bulk response: {e}")),
-            },
-            Err(e) => return Response::Err(format!("bulk to {dest} failed: {e}")),
-        }
-    }
-    Response::Ack
+    Response::Err("no location for routed shard after re-route retries".into())
 }
 
 fn route_query(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>) -> Response {

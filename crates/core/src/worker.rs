@@ -14,10 +14,21 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
 use volap_dims::{Aggregate, Item, Key, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
+use volap_obs::lock::{self, LockClass, ObsMutex, ObsRwLock};
 use volap_obs::{Counter, Gauge, HeatEntry, HeatMap, Histogram, RateEwma, SpanGuard, TraceCtx, Tracer};
+
+/// Worker slice of the global lock hierarchy (DESIGN.md §15). Stats and
+/// alias resolution hold the slot map while reading individual slot states,
+/// so slots < slot_state; a slot state guard is held across store calls
+/// that take tree locks (ranks 50+), so slot_state < every tree class. The
+/// query-pool output accumulator is only ever taken after a scan returns,
+/// but ranks above slot_state so a future combined path stays legal.
+static SLOTS_CLASS: LockClass = LockClass::new("worker.slots", 30);
+static SLOT_STATE_CLASS: LockClass = LockClass::new("worker.slot_state", 31);
+static HEAT_TRACK_CLASS: LockClass = LockClass::new("worker.heat_track", 32);
+static QUERY_OUT_CLASS: LockClass = LockClass::new("worker.query_out", 40);
 use volap_tree::{build_store, deserialize_store, serial::encode_items, ShardStore, SplitPlan};
 
 use crate::config::VolapConfig;
@@ -100,13 +111,16 @@ struct SlotHeat {
 }
 
 struct Slot {
-    state: RwLock<SlotState>,
+    state: ObsRwLock<SlotState>,
     heat: SlotHeat,
 }
 
 impl Slot {
     fn new(state: SlotState) -> Arc<Self> {
-        Arc::new(Self { state: RwLock::new(state), heat: SlotHeat::default() })
+        Arc::new(Self {
+            state: ObsRwLock::new(&SLOT_STATE_CLASS, state),
+            heat: SlotHeat::default(),
+        })
     }
 }
 
@@ -125,14 +139,14 @@ struct WorkerState {
     cfg: VolapConfig,
     endpoint: Endpoint,
     image: ImageStore,
-    slots: RwLock<HashMap<u64, Arc<Slot>>>,
+    slots: ObsRwLock<HashMap<u64, Arc<Slot>>>,
     /// Pool for fanning one query's local shard scans out in parallel
     /// (`None` when `cfg.query_threads == 1`).
     query_pool: Option<rayon::ThreadPool>,
     /// Cluster-wide heat view this worker publishes into.
     heat: HeatMap,
     /// Per-shard EWMA state, touched only by the stats thread.
-    heat_track: Mutex<HashMap<u64, HeatTrack>>,
+    heat_track: ObsMutex<HashMap<u64, HeatTrack>>,
     obs: WorkerObs,
     /// Causal tracer: workers inherit sampled contexts from envelopes and
     /// record queue-wait, op, and per-shard execution spans under them.
@@ -181,10 +195,10 @@ pub fn spawn_worker(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         cfg: cfg.clone(),
         endpoint: endpoint.clone(),
         image: image.clone(),
-        slots: RwLock::new(HashMap::new()),
+        slots: ObsRwLock::new(&SLOTS_CLASS, HashMap::new()),
         query_pool,
         heat: image.obs().heat().clone(),
-        heat_track: Mutex::new(HashMap::new()),
+        heat_track: ObsMutex::new(&HEAT_TRACK_CLASS, HashMap::new()),
         obs: WorkerObs::new(image, name),
         tracer: image.obs().tracer().clone(),
     });
@@ -484,18 +498,19 @@ fn local_bulk_insert(
             None => return Response::Err(format!("unknown shard {id} on {}", st.name)),
         };
         let guard = slot.state.read();
+        // The state guard stays held across the Active/Busy inserts, like
+        // the single-item path: `do_split` snapshots the store's items and
+        // drains the queue under the write lock, so a batch inserted after
+        // the guard dropped could land in an already-captured store or an
+        // already-drained queue and vanish.
         match &*guard {
             SlotState::Active { store } => {
-                let store = Arc::clone(store);
-                drop(guard);
                 if st.heat.enabled() {
                     slot.heat.inserts.fetch_add(group.len() as u64, Ordering::Relaxed);
                 }
                 store.bulk_insert(group);
             }
             SlotState::Busy { queue, .. } => {
-                let queue = Arc::clone(queue);
-                drop(guard);
                 st.obs.queue_inserts.add(group.len() as u64);
                 if st.heat.enabled() {
                     slot.heat.inserts.fetch_add(group.len() as u64, Ordering::Relaxed);
@@ -559,13 +574,15 @@ impl ScanTarget {
     /// pay a structure walk (`ShardStore::stats`) the unsampled one skips.
     fn query_spanned(&self, q: &QueryBox, tracer: &Tracer, parent: &TraceCtx) -> Aggregate {
         let start = tracer.now_us();
+        let wait0 = lock::thread_wait_ns();
         let (mut agg, mut qt) = self.store.query_traced(q);
         if let Some(queue) = &self.queue {
             let (a, t) = queue.query_traced(q);
             agg.merge(&a);
             qt.merge(&t);
         }
-        let ann = vec![
+        let waited = lock::thread_wait_ns() - wait0;
+        let mut ann = vec![
             ("shard".into(), self.id.to_string()),
             ("items".into(), self.store.len().to_string()),
             ("nodes_visited".into(), qt.nodes_visited.to_string()),
@@ -574,6 +591,9 @@ impl ScanTarget {
             ("pruned".into(), qt.pruned.to_string()),
             ("rollup_hits".into(), qt.rollup_hits.to_string()),
         ];
+        if waited > 0 {
+            ann.push(("held_lock_wait_us".into(), (waited / 1_000).to_string()));
+        }
         tracer.record_manual(parent, "tree_exec", start, tracer.now_us(), ann);
         agg
     }
@@ -681,7 +701,7 @@ fn local_query(
     let tracer = &st.tracer;
     let mut agg = match &st.query_pool {
         Some(pool) if scans.len() > 1 => {
-            let out = Mutex::new(Aggregate::empty());
+            let out = ObsMutex::new(&QUERY_OUT_CLASS, Aggregate::empty());
             pool.scope(|s| {
                 let out = &out;
                 for t in &scans {
@@ -778,7 +798,7 @@ fn local_query_analyzed(st: &Arc<WorkerState>, shards: &[u64], query: &QueryBox)
     let mut shard_execs: Vec<ShardExec> = Vec::with_capacity(scans.len());
     let mut agg = match &st.query_pool {
         Some(pool) if scans.len() > 1 => {
-            let out = Mutex::new((Aggregate::empty(), Vec::with_capacity(scans.len())));
+            let out = ObsMutex::new(&QUERY_OUT_CLASS, (Aggregate::empty(), Vec::with_capacity(scans.len())));
             pool.scope(|s| {
                 let out = &out;
                 for t in &scans {
@@ -901,7 +921,20 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
     };
     let (left, right) = store.split(&plan);
     let (left, right): (Arc<dyn ShardStore>, Arc<dyn ShardStore>) = (left.into(), right.into());
-    // Swap in the halves and drain the queue by hyperplane side.
+    // Publish the halves into the slot map *before* taking the parent's
+    // state lock: they are unreachable (in no alias chain and not yet in
+    // the image) until the alias below makes them visible, and acquiring
+    // `slots` (rank 30) while holding `slot_state` (rank 31) would invert
+    // the lock hierarchy against the alias-chase paths, which hold the map
+    // while reading slot states.
+    {
+        let mut slots = st.slots.write();
+        slots.insert(left_id, Slot::new(SlotState::Active { store: Arc::clone(&left) }));
+        slots.insert(right_id, Slot::new(SlotState::Active { store: Arc::clone(&right) }));
+    }
+    // Swap in the alias and drain the queue by hyperplane side. Holding the
+    // state lock exclusively makes drain + alias swap atomic against
+    // inserters, so no queued item is lost or double-counted.
     {
         let mut guard = slot.state.write();
         let queued = match &*guard {
@@ -915,9 +948,6 @@ fn do_split(st: &Arc<WorkerState>, shard: u64, left_id: u64, right_id: u64) -> R
                 left.insert(it);
             }
         }
-        let mut slots = st.slots.write();
-        slots.insert(left_id, Slot::new(SlotState::Active { store: Arc::clone(&left) }));
-        slots.insert(right_id, Slot::new(SlotState::Active { store: Arc::clone(&right) }));
         *guard = SlotState::SplitInto { left: left_id, right: right_id, plan };
     }
     st.heat.retire(shard, &st.name);

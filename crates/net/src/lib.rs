@@ -35,8 +35,16 @@ use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use volap_obs::lock::{LockClass, ObsMutex, ObsRwLock};
 use volap_obs::{Counter, Histogram, Registry, SpanGuard, TraceCtx, Tracer};
+
+/// The fabric's slice of the global lock hierarchy (DESIGN.md §15): routing
+/// reads the endpoint registry, then may hold the delay-queue sender while
+/// delivering, and delivery of a reply takes the requester's pending map —
+/// so endpoints < delay < pending.
+static ENDPOINTS_CLASS: LockClass = LockClass::new("net.endpoints", 60);
+static DELAY_CLASS: LockClass = LockClass::new("net.delay", 61);
+static PENDING_CLASS: LockClass = LockClass::new("net.pending", 62);
 
 /// Fabric-level observability handles, attached once per network (see
 /// [`Network::attach_obs`]). Absent by default so the fabric stays
@@ -101,7 +109,7 @@ struct EndpointCore {
     name: String,
     queue_tx: Sender<Envelope>,
     queue_rx: Receiver<Envelope>,
-    pending: Mutex<HashMap<u64, Sender<Envelope>>>,
+    pending: ObsMutex<HashMap<u64, Sender<Envelope>>>,
     next_corr: AtomicU64,
 }
 
@@ -129,9 +137,9 @@ impl EndpointCore {
 }
 
 struct NetworkInner {
-    endpoints: RwLock<HashMap<String, Arc<EndpointCore>>>,
+    endpoints: ObsRwLock<HashMap<String, Arc<EndpointCore>>>,
     latency: Option<Duration>,
-    delay_tx: Mutex<Option<Sender<(Instant, String, Envelope)>>>,
+    delay_tx: ObsMutex<Option<Sender<(Instant, String, Envelope)>>>,
     obs: OnceLock<NetObs>,
     tracer: OnceLock<Tracer>,
 }
@@ -153,9 +161,9 @@ impl Network {
     pub fn new() -> Self {
         Self {
             inner: Arc::new(NetworkInner {
-                endpoints: RwLock::new(HashMap::new()),
+                endpoints: ObsRwLock::new(&ENDPOINTS_CLASS, HashMap::new()),
                 latency: None,
-                delay_tx: Mutex::new(None),
+                delay_tx: ObsMutex::new(&DELAY_CLASS, None),
                 obs: OnceLock::new(),
                 tracer: OnceLock::new(),
             }),
@@ -168,9 +176,9 @@ impl Network {
     pub fn with_latency(latency: Duration) -> Self {
         let net = Self {
             inner: Arc::new(NetworkInner {
-                endpoints: RwLock::new(HashMap::new()),
+                endpoints: ObsRwLock::new(&ENDPOINTS_CLASS, HashMap::new()),
                 latency: Some(latency),
-                delay_tx: Mutex::new(None),
+                delay_tx: ObsMutex::new(&DELAY_CLASS, None),
                 obs: OnceLock::new(),
                 tracer: OnceLock::new(),
             }),
@@ -207,7 +215,7 @@ impl Network {
             name: name.clone(),
             queue_tx,
             queue_rx,
-            pending: Mutex::new(HashMap::new()),
+            pending: ObsMutex::new(&PENDING_CLASS, HashMap::new()),
             next_corr: AtomicU64::new(1),
         });
         let prev = self.inner.endpoints.write().insert(name.clone(), Arc::clone(&core));

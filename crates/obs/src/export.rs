@@ -10,6 +10,7 @@ use crate::audit::BalanceDecision;
 use crate::events::Event;
 use crate::heat::HeatEntry;
 use crate::json::{self, escape as json_escape, Json};
+use crate::lock::LockClassSnapshot;
 use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
 use crate::snapshot::Snapshot;
 use crate::staleness::StalenessSnapshot;
@@ -381,6 +382,27 @@ pub fn to_json(snap: &Snapshot) -> String {
             d.duration_us
         ));
     }
+    out.push_str("\n  ],\n  \"locks\": [");
+    first = true;
+    for l in &snap.locks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"class\": \"{}\", \"rank\": {}, \"acquisitions\": {}, \
+             \"contended\": {}, \"wait_count\": {}, \"wait_sum_seconds\": {}, \
+             \"hold_count\": {}, \"hold_sum_seconds\": {}}}",
+            json_escape(&l.class),
+            l.rank,
+            l.acquisitions,
+            l.contended,
+            l.wait_count,
+            l.wait_sum_seconds,
+            l.hold_count,
+            l.hold_sum_seconds
+        ));
+    }
     let samples: Vec<String> =
         snap.staleness.samples_seconds.iter().map(|s| format!("{s}")).collect();
     out.push_str(&format!(
@@ -473,6 +495,18 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
             result_shards,
             outcome: d.get("outcome")?.str()?.to_string(),
             duration_us: d.get("duration_us")?.num()?,
+        });
+    }
+    for l in root.get("locks")?.arr()? {
+        snap.locks.push(LockClassSnapshot {
+            class: l.get("class")?.str()?.to_string(),
+            rank: l.get("rank")?.num()?,
+            acquisitions: l.get("acquisitions")?.num()?,
+            contended: l.get("contended")?.num()?,
+            wait_count: l.get("wait_count")?.num()?,
+            wait_sum_seconds: l.get("wait_sum_seconds")?.num()?,
+            hold_count: l.get("hold_count")?.num()?,
+            hold_sum_seconds: l.get("hold_sum_seconds")?.num()?,
         });
     }
     let st = root.get("staleness")?;
@@ -626,6 +660,16 @@ mod tests {
                 result_shards: vec![4],
                 outcome: "ok".into(),
                 duration_us: 1234,
+            }],
+            locks: vec![LockClassSnapshot {
+                class: "server.index".into(),
+                rank: 21,
+                acquisitions: u64::MAX,
+                contended: 12,
+                wait_count: 12,
+                wait_sum_seconds: 0.001953125,
+                hold_count: 12,
+                hold_sum_seconds: 3.25,
             }],
             staleness: StalenessSnapshot { count: 2, samples_seconds: vec![0.001, 0.25] },
         }

@@ -31,6 +31,7 @@ pub mod events;
 pub mod export;
 pub mod heat;
 pub mod json;
+pub mod lock;
 pub mod registry;
 pub mod snapshot;
 pub mod staleness;
@@ -39,6 +40,10 @@ pub mod trace;
 pub use audit::{AuditLog, BalanceDecision};
 pub use events::{Event, EventLog};
 pub use heat::{HeatEntry, HeatMap, RateEwma};
+pub use lock::{
+    CheckMode, LockClass, LockClassSnapshot, LockOrderViolation, ObsMutex, ObsMutexGuard,
+    ObsRwLock, ObsRwLockReadGuard, ObsRwLockWriteGuard,
+};
 pub use registry::{
     bucket_index, bucket_le_seconds, Counter, Gauge, Histogram, HistogramSnapshot, MetricId,
     Registry, ScalarSnapshot, Timer, HIST_BUCKETS,
@@ -141,10 +146,25 @@ impl Obs {
         &self.audit
     }
 
+    /// Route lock-order violations into this core's event log as
+    /// `lock_order_violation` events. The hook is process-global (lock
+    /// telemetry itself is); the cluster installs it once at start.
+    pub fn install_lock_hook(&self) {
+        let events = self.events.clone();
+        lock::set_violation_hook(Some(Box::new(move |v| {
+            events.record("lock_order_violation", v.to_string());
+        })));
+    }
+
     /// One coherent snapshot of metrics, events, heat, balance decisions,
-    /// and measured staleness.
+    /// lock contention, and measured staleness. Lock telemetry is
+    /// process-global, so its per-class metrics appear identically in every
+    /// core's snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let (counters, gauges, histograms) = self.registry.snapshot();
+        let (mut counters, gauges, mut histograms) = self.registry.snapshot();
+        let locks = lock::export_into(&mut counters, &mut histograms);
+        counters.sort_by(|a, b| a.id.cmp(&b.id));
+        histograms.sort_by(|a, b| a.id.cmp(&b.id));
         Snapshot {
             counters,
             gauges,
@@ -152,6 +172,7 @@ impl Obs {
             events: self.events.snapshot(),
             heat: self.heat.snapshot(),
             audit: self.audit.snapshot(),
+            locks,
             staleness: self.staleness.snapshot(),
         }
     }

@@ -4,6 +4,7 @@
 use crate::audit::BalanceDecision;
 use crate::events::Event;
 use crate::heat::HeatEntry;
+use crate::lock::LockClassSnapshot;
 use crate::registry::{HistogramSnapshot, ScalarSnapshot};
 use crate::staleness::StalenessSnapshot;
 
@@ -23,6 +24,10 @@ pub struct Snapshot {
     pub heat: Vec<HeatEntry>,
     /// Recent load-balance decisions in global sequence order.
     pub audit: Vec<BalanceDecision>,
+    /// Per-class lock contention summaries, ordered by rank then name (the
+    /// full wait/hold distributions are in `histograms` as
+    /// `volap_lock_{wait,hold}_seconds{class=..}`).
+    pub locks: Vec<LockClassSnapshot>,
     /// Measured image-staleness samples.
     pub staleness: StalenessSnapshot,
 }
@@ -40,6 +45,7 @@ impl Snapshot {
             events: Vec::new(),
             heat: Vec::new(),
             audit: Vec::new(),
+            locks: Vec::new(),
             staleness: StalenessSnapshot::default(),
         }
     }
@@ -62,5 +68,10 @@ impl Snapshot {
     /// Events of one kind.
     pub fn events_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
         self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The lock-class summary with this name.
+    pub fn lock_class(&self, name: &str) -> Option<&LockClassSnapshot> {
+        self.locks.iter().find(|l| l.class == name)
     }
 }

@@ -33,6 +33,26 @@ use crate::events::thread_ordinal;
 /// Number of collector shards (same rationale as the event ring).
 const SHARDS: usize = 16;
 
+std::thread_local! {
+    /// `(trace_id, span_id)` of the innermost [`SpanGuard`] open on this
+    /// thread — backtrace-lite context for lock-order violations. `(0, 0)`
+    /// when no span is open.
+    static CURRENT_SPAN: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// The innermost traced span open on the calling thread, as
+/// `(trace_id, span_id)`; `None` when the thread is not inside a sampled
+/// span. Used by the lock-order checker to tie a violation to the request
+/// that triggered it.
+pub fn current_span() -> Option<(u64, u64)> {
+    let cur = CURRENT_SPAN.with(|c| c.get());
+    if cur == (0, 0) {
+        None
+    } else {
+        Some(cur)
+    }
+}
+
 /// The propagated trace context: one context names one span. Children are
 /// derived with [`Tracer::child`], which allocates a fresh span id and
 /// records the parent edge — the paper-standard Dapper model.
@@ -342,6 +362,7 @@ impl Tracer {
     /// Open the span named by `ctx` (one context = one span). Records on
     /// drop; annotate along the way.
     pub fn span(&self, ctx: &TraceCtx, name: &'static str) -> SpanGuard {
+        let prev_span = CURRENT_SPAN.with(|c| c.replace((ctx.trace_id, ctx.span_id)));
         SpanGuard {
             tracer: self.clone(),
             ctx: *ctx,
@@ -350,6 +371,7 @@ impl Tracer {
             start_us: self.now_us(),
             annotations: Vec::new(),
             armed: true,
+            prev_span,
         }
     }
 
@@ -451,6 +473,8 @@ pub struct SpanGuard {
     start_us: u64,
     annotations: Vec<(String, String)>,
     armed: bool,
+    /// The thread's previous [`current_span`], restored when this records.
+    prev_span: (u64, u64),
 }
 
 impl SpanGuard {
@@ -476,6 +500,7 @@ impl SpanGuard {
             return;
         }
         self.armed = false;
+        CURRENT_SPAN.with(|c| c.set(self.prev_span));
         self.tracer.record(SpanRecord {
             trace_id: self.ctx.trace_id,
             span_id: self.ctx.span_id,

@@ -1,9 +1,12 @@
 //! The flat-array shard store (benchmarking baseline, paper §III-D).
 
-use parking_lot::RwLock;
 use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
+use volap_obs::lock::{LockClass, ObsRwLock};
 
 use crate::tree::QueryTrace;
+
+/// Single whole-store lock; never nested with any other class.
+static ARRAY_CLASS: LockClass = LockClass::new("tree.array", 55);
 
 /// A shard stored as a plain vector: O(1) amortized insert, O(n) query.
 ///
@@ -12,7 +15,7 @@ use crate::tree::QueryTrace;
 /// and the ceiling for raw ingestion.
 pub struct ArrayStore {
     schema: Schema,
-    inner: RwLock<ArrayInner>,
+    inner: ObsRwLock<ArrayInner>,
 }
 
 struct ArrayInner {
@@ -25,7 +28,13 @@ impl ArrayStore {
     /// Create an empty array store.
     pub fn new(schema: Schema) -> Self {
         let mbr = Mbr::empty(&schema);
-        Self { schema, inner: RwLock::new(ArrayInner { items: Vec::new(), total: Aggregate::empty(), mbr }) }
+        Self {
+            schema,
+            inner: ObsRwLock::new(
+                &ARRAY_CLASS,
+                ArrayInner { items: Vec::new(), total: Aggregate::empty(), mbr },
+            ),
+        }
     }
 
     /// The schema.

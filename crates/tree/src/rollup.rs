@@ -21,11 +21,15 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
 use volap_dims::{Aggregate, QueryBox, Schema};
+use volap_obs::lock::{LockClass, ObsMutex};
 
 /// Mutex shards per level table, keeping concurrent insert contention low.
 const SHARDS: usize = 16;
+
+/// All rollup cell shards across levels share one class; acquisitions are
+/// strictly sequential (one shard at a time), never nested.
+static ROLLUP_CELL_CLASS: LockClass = LockClass::new("tree.rollup_cell", 56);
 
 /// A level is materialized only when its per-dimension prefixes pack into
 /// this many bits — a sanity bound on the worst-case cell count (2^32) and
@@ -41,7 +45,7 @@ struct LevelTable {
     offsets: Vec<u32>,
     /// Per dim: prefix width in bits.
     widths: Vec<u32>,
-    cells: Vec<Mutex<HashMap<u128, Aggregate>>>,
+    cells: Vec<ObsMutex<HashMap<u128, Aggregate>>>,
 }
 
 impl LevelTable {
@@ -134,7 +138,7 @@ impl RollupTable {
                 rems,
                 offsets,
                 widths,
-                cells: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+                cells: (0..SHARDS).map(|_| ObsMutex::new(&ROLLUP_CELL_CLASS, HashMap::new())).collect(),
             });
         }
         Self { schema: schema.clone(), levels }

@@ -3,12 +3,21 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{ArcRwLockWriteGuard, Mutex, RwLock};
 use volap_dims::{Aggregate, HilbertMapper, Item, Key, Mbr, QueryBox, Schema};
 use volap_hilbert::BigIndex;
+use volap_obs::lock::{LockClass, ObsArcRwLockWriteGuard, ObsMutex, ObsRwLock};
 
 use crate::leaf::{ColumnStats, LeafColumns};
 use crate::rollup::RollupTable;
+
+/// The tree layer's slice of the global lock hierarchy (DESIGN.md §15).
+/// The root pointer is taken before any node; node locks are chainable
+/// (hand-over-hand coupling holds parent + child of the same class); the
+/// stack pool and parallel-query sink are leaves of the order.
+static TREE_ROOT_CLASS: LockClass = LockClass::new("tree.root", 50);
+pub(crate) static TREE_NODE_CLASS: LockClass = LockClass::new_chainable("tree.node", 51);
+static STACK_POOL_CLASS: LockClass = LockClass::new("tree.stack_pool", 52);
+static QUERY_OUT_CLASS: LockClass = LockClass::new("tree.query_out", 53);
 
 /// Sizing and fill parameters shared by all tree variants.
 #[derive(Debug, Clone)]
@@ -116,14 +125,14 @@ pub(crate) struct NodeInner<K> {
 
 /// A tree node: a lock around its contents. Inserts use write-lock coupling
 /// (at most parent + child held); queries take read locks one at a time.
-pub(crate) type Node<K> = RwLock<NodeInner<K>>;
+pub(crate) type Node<K> = ObsRwLock<NodeInner<K>>;
 
 pub(crate) fn new_leaf<K: Key>(entries: LeafColumns, agg: Aggregate) -> Arc<Node<K>> {
-    Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Leaf(entries) }))
+    Arc::new(ObsRwLock::new(&TREE_NODE_CLASS, NodeInner { agg, children: NodeChildren::Leaf(entries) }))
 }
 
 pub(crate) fn new_dir<K: Key>(entries: Vec<DirEntry<K>>, agg: Aggregate) -> Arc<Node<K>> {
-    Arc::new(RwLock::new(NodeInner { agg, children: NodeChildren::Dir(entries) }))
+    Arc::new(ObsRwLock::new(&TREE_NODE_CLASS, NodeInner { agg, children: NodeChildren::Dir(entries) }))
 }
 
 /// Shortest run for which a materialized key union pays for itself: below
@@ -134,7 +143,7 @@ const RUN_KEY_MIN: usize = 4;
 /// batching performs no per-run allocation.
 struct RunScratch<K: Key> {
     /// Retained write guards, root first.
-    path: Vec<ArcRwLockWriteGuard<NodeInner<K>>>,
+    path: Vec<ObsArcRwLockWriteGuard<NodeInner<K>>>,
     /// Chosen child index per directory level of `path`.
     slots: Vec<usize>,
 }
@@ -182,7 +191,7 @@ pub struct ConcurrentTree<K: Key> {
     cfg: TreeConfig,
     policy: InsertPolicy,
     mapper: Option<HilbertMapper>,
-    root: RwLock<Arc<Node<K>>>,
+    root: ObsRwLock<Arc<Node<K>>>,
     len: AtomicU64,
     /// Cumulative node splits (root, preventive, and overflow), for
     /// observability: split rate is the structural cost of ingest.
@@ -190,7 +199,7 @@ pub struct ConcurrentTree<K: Key> {
     /// Recycled traversal stacks for the sequential query path, so steady-
     /// state queries allocate nothing (one stack replaces the per-directory
     /// `Vec` the recursive walk used to build).
-    stack_pool: Mutex<Vec<Vec<Arc<Node<K>>>>>,
+    stack_pool: ObsMutex<Vec<Vec<Arc<Node<K>>>>>,
     /// Materialized hierarchy-level rollups (`None` unless
     /// `cfg.rollup_levels > 0` and the schema passes the width gate).
     rollup: Option<RollupTable>,
@@ -209,14 +218,17 @@ impl<K: Key> ConcurrentTree<K> {
             .then(|| RollupTable::new(&schema, cfg.rollup_levels))
             .filter(|r| !r.is_inert());
         Self {
-            root: RwLock::new(new_leaf(LeafColumns::new(schema.dims()), Aggregate::empty())),
+            root: ObsRwLock::new(
+                &TREE_ROOT_CLASS,
+                new_leaf(LeafColumns::new(schema.dims()), Aggregate::empty()),
+            ),
             schema,
             cfg,
             policy,
             mapper,
             len: AtomicU64::new(0),
             node_splits: AtomicU64::new(0),
-            stack_pool: Mutex::new(Vec::new()),
+            stack_pool: ObsMutex::new(&STACK_POOL_CLASS, Vec::new()),
             rollup,
         }
     }
@@ -293,7 +305,7 @@ impl<K: Key> ConcurrentTree<K> {
     fn insert_entry(&self, item: &Item, entry: Entry) {
         'retry: loop {
             let root_arc = Arc::clone(&self.root.read());
-            let mut cur = RwLock::write_arc(&root_arc);
+            let mut cur = ObsRwLock::write_arc(&root_arc);
             if self.is_full(&cur) {
                 drop(cur);
                 self.split_root(&root_arc);
@@ -316,7 +328,7 @@ impl<K: Key> ConcurrentTree<K> {
                     NodeChildren::Dir(entries) => loop {
                         let idx = self.choose_child(entries, &entry);
                         let child_arc = Arc::clone(&entries[idx].node);
-                        let child_guard = RwLock::write_arc(&child_arc);
+                        let child_guard = ObsRwLock::write_arc(&child_arc);
                         if self.is_full(&child_guard) {
                             // Preventive split: replace the slot with two
                             // fresh nodes and re-choose. The old node is
@@ -416,7 +428,7 @@ impl<K: Key> ConcurrentTree<K> {
     ) -> usize {
         'retry: loop {
             let root_arc = Arc::clone(&self.root.read());
-            let root_guard = RwLock::write_arc(&root_arc);
+            let root_guard = ObsRwLock::write_arc(&root_arc);
             if self.is_full(&root_guard) {
                 drop(root_guard);
                 self.split_root(&root_arc);
@@ -452,7 +464,7 @@ impl<K: Key> ConcurrentTree<K> {
                     }
                 };
                 let Some((idx, child_arc)) = step else { break };
-                let child_guard = RwLock::write_arc(&child_arc);
+                let child_guard = ObsRwLock::write_arc(&child_arc);
                 if self.is_full(&child_guard) {
                     // Full child mid-descent. Nothing has been mutated yet,
                     // so retreat entirely and push the head of the run
@@ -863,7 +875,7 @@ impl<K: Key> ConcurrentTree<K> {
             return self.query_traced(q);
         }
         let root = Arc::clone(&self.root.read());
-        let out = Mutex::new((Aggregate::empty(), QueryTrace::default()));
+        let out = ObsMutex::new(&QUERY_OUT_CLASS, (Aggregate::empty(), QueryTrace::default()));
         rayon::scope(|s| self.par_task(s, root, q, cutoff, &out));
         out.into_inner()
     }
@@ -876,7 +888,7 @@ impl<K: Key> ConcurrentTree<K> {
         node: Arc<Node<K>>,
         q: &'s QueryBox,
         cutoff: u64,
-        out: &'s Mutex<(Aggregate, QueryTrace)>,
+        out: &'s ObsMutex<(Aggregate, QueryTrace)>,
     ) {
         let mut agg = Aggregate::empty();
         let mut trace = QueryTrace::default();
