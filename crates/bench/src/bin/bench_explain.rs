@@ -91,7 +91,8 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--no-run") {
+    let env = volap_bench::BenchEnv::setup("bench_explain");
+    if env.no_run {
         smoke();
         return;
     }
@@ -105,6 +106,9 @@ fn main() {
     cfg.workers = 1;
     cfg.initial_shards_per_worker = 2;
     cfg.manager_enabled = false;
+    // The history sampler has its own overhead gate (bench_health); keep
+    // its background wakeups out of this subsystem's measurement.
+    cfg.history_capacity = 0;
     let cluster = Cluster::start(cfg);
     let client = cluster.client();
     let heat = cluster.obs().heat().clone();
@@ -166,7 +170,7 @@ fn main() {
         if ok { "OK" } else { "FAIL" }
     );
     let json = format!(
-        "{{\n  \"bench\": \"explain_overhead\",\n  \
+        "{{\n  \"bench\": \"explain_overhead\",\n  {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"query_per_s\": {{\"heat_off\": {:.0}, \"heat_on\": {:.0}, \"analyze\": {:.0}}},\n  \
@@ -175,6 +179,7 @@ fn main() {
          \"ingest_overhead_frac_heat_on\": {ingest_overhead:.4},\n  \
          \"query_overhead_frac_analyze\": {analyze_overhead:.4},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        env.json_fields(),
         qry[0], qry[1], qry[2], ing[0], ing[1], ing[2]
     );
     std::fs::write("BENCH_explain.json", &json).expect("write BENCH_explain.json");

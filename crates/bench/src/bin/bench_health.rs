@@ -1,0 +1,165 @@
+//! Continuous-telemetry sampler overhead guard, recorded to
+//! `BENCH_health.json`.
+//!
+//! The history sampler captures one frame per interval on its own thread:
+//! the ingest hot path itself is untouched (the sampler only *reads* the
+//! registry's relaxed atomics), so the only possible costs are cache-line
+//! bouncing on the counters the workload is writing and the registry slot
+//! mutex the sampler briefly holds. This bench drives a per-item ingest
+//! workload through one long-lived cluster whose sampler runs at an
+//! aggressive 10 ms interval (25× the shipped 250 ms default) while
+//! toggling the ring's runtime kill switch between segments, and compares
+//! items/sec. The trimmed-mean overhead of sampling-on versus off must
+//! stay within tolerance (default 1%, `HEALTH_OVERHEAD_TOLERANCE` to
+//! override); the process exits non-zero otherwise (`--check` is accepted
+//! and is the same gated run, matching the other bench binaries).
+//!
+//! Each round runs both configurations back to back in a rotating order,
+//! so the slow throughput decay from tree growth lands on both equally and
+//! cancels from the trimmed mean.
+//!
+//! `--no-run` skips the timing runs and instead smoke-tests the telemetry
+//! pipeline on a tiny cluster: waits a few sampler intervals, then checks
+//! frames captured, the ring validates, per-frame insert deltas sum to the
+//! live counter totals, and the watchdog reports every default rule.
+
+use std::time::{Duration, Instant};
+
+use volap::{ClientSession, Cluster, VolapConfig};
+use volap_bench::BenchEnv;
+use volap_dims::{Item, Schema};
+
+const ITEMS_PER_SEGMENT: usize = 8_000;
+const ROUNDS: usize = 10; // even: each config sits in each slot equally
+const TRIM: usize = 2;
+
+fn segment(client: &ClientSession, items: &[Item]) -> f64 {
+    let t = Instant::now();
+    for item in items {
+        client.insert(item).expect("insert");
+    }
+    items.len() as f64 / t.elapsed().as_secs_f64()
+}
+
+fn trimmed_mean(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let kept = &v[TRIM..v.len() - TRIM];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn smoke() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    cfg.history_interval = Duration::from_millis(10);
+    cfg.history_capacity = 512;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let mut gen = volap_data::DataGen::new(&schema, 23, 1.2);
+    client.bulk_insert(gen.items(500)).expect("bulk");
+    // Give the sampler a few intervals to frame the activity.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let hist = cluster.history();
+        if hist.frames.len() >= 3
+            && hist.delta_sum_all_labels("volap_server_inserts_total") >= 500.0
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "smoke: sampler produced no usable frames");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let hist = cluster.history();
+    hist.validate().expect("smoke: history ring failed validation");
+    let health = cluster.health();
+    assert!(
+        health.len() >= volap::HealthRule::defaults().len(),
+        "smoke: watchdog dropped rules"
+    );
+    cluster.shutdown();
+    println!(
+        "health smoke OK: {} frames captured, {} series, {} health rules evaluated",
+        hist.frames.len(),
+        hist.series.len(),
+        health.len()
+    );
+}
+
+fn main() {
+    let env = BenchEnv::setup("bench_health");
+    if env.no_run {
+        smoke();
+        return;
+    }
+    let tolerance: f64 = std::env::var("HEALTH_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    // 25x the shipped sampling rate, so a pass here bounds the default
+    // configuration's overhead far below the gate.
+    cfg.history_interval = Duration::from_millis(10);
+    cfg.history_capacity = 1024;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client();
+    let history = cluster.obs().history().clone();
+    let mut gen = volap_data::DataGen::new(&schema, 29, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..2 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT));
+    }
+
+    // Sampling on (kill switch armed, frames captured every 10 ms) vs off
+    // (sampler thread still wakes, capture returns after one relaxed load).
+    const CONFIGS: [bool; 2] = [true, false];
+    let mut ingest = [Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for slot in 0..2 {
+            let which = (round + slot) % 2;
+            history.set_enabled(CONFIGS[which]);
+            ingest[which].push(segment(&client, &gen.items(ITEMS_PER_SEGMENT)));
+        }
+        println!(
+            "round {round:>2}: ingest on {:>7.0}/s  off {:>7.0}/s",
+            ingest[0][round], ingest[1][round]
+        );
+    }
+    history.set_enabled(true);
+    let frames_captured = cluster.history().frames.len();
+    cluster.shutdown();
+
+    let ing = [trimmed_mean(ingest[0].clone()), trimmed_mean(ingest[1].clone())];
+    let overhead = (ing[1] - ing[0]) / ing[1];
+    let ok = overhead <= tolerance;
+    println!("ingest: on {:.0}/s  off {:.0}/s (trimmed means)", ing[0], ing[1]);
+    println!(
+        "sampler ingest overhead {:.2}% (tolerance {:.0}%) {}",
+        overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"health_overhead\",\n  {},\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
+         \"sampler_interval_ms\": 10,\n  \"frames_captured\": {frames_captured},\n  \
+         \"ingest_per_s\": {{\"sampler_on\": {:.0}, \"sampler_off\": {:.0}}},\n  \
+         \"ingest_overhead_frac\": {overhead:.4},\n  \
+         \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        env.json_fields(),
+        ing[0], ing[1]
+    );
+    std::fs::write("BENCH_health.json", &json).expect("write BENCH_health.json");
+    println!("wrote BENCH_health.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

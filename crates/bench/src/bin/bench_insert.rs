@@ -43,7 +43,11 @@ fn load(tree: &ConcurrentTree<Mds>, items: &[Item], batched: bool) -> f64 {
 fn main() {
     let schema = Schema::tpcds();
     let rounds = 3;
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Deliberately a one-thread bench (the batched win comes from sorted
+    // runs, not parallelism); BenchEnv still parses the common flags and
+    // records the machine size.
+    let env = volap_bench::BenchEnv::setup("bench_insert");
+    let cores = env.cores;
     let mut rows = Vec::new();
     println!("# insert_item_vs_batch ({cores} cores, chunk {CHUNK}, best of {rounds}, 1 thread)");
     println!("{:<10} {:>14} {:>14} {:>9}", "items", "item/s", "batch/s", "speedup");
@@ -69,7 +73,7 @@ fn main() {
     }
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"insert_item_vs_batch\",\n");
-    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"cores\": {cores},\n  \"threads\": 1,\n"));
     json.push_str(&format!("  \"chunk\": {CHUNK},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

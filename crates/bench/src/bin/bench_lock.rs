@@ -23,6 +23,7 @@
 use std::time::Instant;
 
 use volap::{ClientSession, Cluster, VolapConfig};
+use volap_bench::BenchEnv;
 use volap_data::DataGen;
 use volap_dims::{Item, QueryBox, Schema};
 use volap_obs::lock;
@@ -85,7 +86,8 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--no-run") {
+    let env = BenchEnv::setup("bench_lock");
+    if env.no_run {
         smoke();
         return;
     }
@@ -99,6 +101,9 @@ fn main() {
     cfg.workers = 1;
     cfg.initial_shards_per_worker = 2;
     cfg.manager_enabled = false;
+    // The history sampler has its own overhead gate (bench_health); keep
+    // its background wakeups out of this subsystem's measurement.
+    cfg.history_capacity = 0;
     let cluster = Cluster::start(cfg);
     let client = cluster.client();
     let q = QueryBox::all(&schema);
@@ -144,7 +149,7 @@ fn main() {
         if ok { "OK" } else { "FAIL" }
     );
     let json = format!(
-        "{{\n  \"bench\": \"lock_overhead\",\n  \
+        "{{\n  \"bench\": \"lock_overhead\",\n  {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"ingest_per_s\": {{\"telemetry_on\": {:.0}, \"telemetry_off\": {:.0}}},\n  \
@@ -152,6 +157,7 @@ fn main() {
          \"ingest_overhead_frac\": {ingest_overhead:.4},\n  \
          \"query_overhead_frac\": {query_overhead:.4},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        env.json_fields(),
         ing[0], ing[1], qry[0], qry[1]
     );
     std::fs::write("BENCH_lock.json", &json).expect("write BENCH_lock.json");

@@ -16,6 +16,7 @@
 use std::time::Instant;
 
 use volap::{ClientSession, Cluster, VolapConfig};
+use volap_bench::BenchEnv;
 use volap_data::DataGen;
 use volap_dims::{Item, Schema};
 
@@ -32,6 +33,7 @@ fn segment(client: &ClientSession, items: &[Item]) -> f64 {
 }
 
 fn main() {
+    let env = BenchEnv::setup("bench_obs");
     let tolerance: f64 = std::env::var("OBS_OVERHEAD_TOLERANCE")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -42,6 +44,9 @@ fn main() {
     cfg.workers = 1;
     cfg.initial_shards_per_worker = 2;
     cfg.manager_enabled = false;
+    // The history sampler has its own overhead gate (bench_health); keep
+    // its background wakeups out of this subsystem's measurement.
+    cfg.history_capacity = 0;
     let cluster = Cluster::start(cfg);
     let client = cluster.client();
     let reg = cluster.obs().registry();
@@ -91,12 +96,14 @@ fn main() {
         if ok { "OK" } else { "FAIL" }
     );
     let json = format!(
-        "{{\n  \"bench\": \"obs_overhead\",\n  \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+        "{{\n  \"bench\": \"obs_overhead\",\n  {},\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"pairs\": {PAIRS},\n  \
          \"instrumented_per_s_median\": {instrumented:.0},\n  \
          \"histograms_off_per_s_median\": {disabled:.0},\n  \
          \"overhead_frac_trimmed_mean\": {overhead:.4},\n  \"tolerance_frac\": {tolerance},\n  \
-         \"within_tolerance\": {ok}\n}}\n"
+         \"within_tolerance\": {ok}\n}}\n",
+        env.json_fields()
     );
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

@@ -29,41 +29,12 @@ fn run_batch(tree: &ConcurrentTree<Mds>, queries: &[QueryBox], par: bool) -> (u6
     (total, t.elapsed().as_secs_f64() * 1e3 / queries.len() as f64)
 }
 
-/// Parse `--threads N`, size the global pool with it, and return the thread
-/// count a parallel section will actually use. Warns loudly on single-core
-/// runs: every parallel speedup measured there is noise.
-fn setup_threads(bench: &str) -> (usize, usize) {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut args = std::env::args().skip(1);
-    let mut threads = 0usize;
-    while let Some(a) = args.next() {
-        if a == "--threads" {
-            let v = args.next().unwrap_or_default();
-            threads = v.parse().unwrap_or_else(|_| panic!("--threads needs a number, got {v:?}"));
-        }
-    }
-    if threads > 0 {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .expect("--threads must run before the global pool initializes");
-    }
-    let effective = if threads > 0 { threads } else { cores };
-    if effective == 1 {
-        eprintln!(
-            "WARNING: {bench} is running on a single thread (cores={cores}); parallel \
-             speedups below are meaningless. Re-run on a multi-core machine or pass \
-             --threads N."
-        );
-    }
-    (cores, effective)
-}
-
 fn main() {
     let schema = Schema::tpcds();
     let n_queries = 32;
     let rounds = 5;
-    let (cores, threads) = setup_threads("bench_query");
+    let env = volap_bench::BenchEnv::setup("bench_query");
+    let (cores, threads) = (env.cores, env.threads);
     let mut rows = Vec::new();
     println!(
         "# query_seq_vs_par ({cores} cores, {threads} threads, {n_queries} queries/round, \
@@ -95,8 +66,7 @@ fn main() {
     }
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"query_seq_vs_par\",\n");
-    json.push_str(&format!("  \"cores\": {cores},\n"));
-    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  {},\n", env.json_fields()));
     json.push_str(&format!("  \"queries_per_round\": {n_queries},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

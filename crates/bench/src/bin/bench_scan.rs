@@ -24,40 +24,10 @@ use volap_dims::{Aggregate, Mds, QueryBox, Schema};
 use volap_tree::serial::bulk_load;
 use volap_tree::{ColumnStats, ConcurrentTree, InsertPolicy, LeafColumns, TreeConfig};
 
+use volap_bench::BenchEnv;
+
 const ROWS: usize = 500_000;
 const ROUNDS: usize = 5;
-
-fn setup_threads() -> (usize, usize, bool) {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let mut threads = 0usize;
-    let mut check = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--threads" => {
-                let v = args.next().unwrap_or_default();
-                threads =
-                    v.parse().unwrap_or_else(|_| panic!("--threads needs a number, got {v:?}"));
-            }
-            "--check" => check = true,
-            other => panic!("unknown argument {other:?} (expected --threads N or --check)"),
-        }
-    }
-    if threads > 0 {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .expect("--threads must run before the global pool initializes");
-    }
-    let effective = if threads > 0 { threads } else { cores };
-    if effective == 1 {
-        eprintln!(
-            "WARNING: bench_scan is running on a single thread (cores={cores}); treat \
-             absolute throughput numbers with suspicion on a loaded shared core."
-        );
-    }
-    (cores, effective, check)
-}
 
 /// Best-of-rounds wall time for one full query batch over `leaf`, plus the
 /// per-query aggregates (for cross-checking raw vs packed).
@@ -171,7 +141,8 @@ fn bench_rollup_vs_leafscan() -> (f64, f64) {
 }
 
 fn main() {
-    let (cores, threads, check) = setup_threads();
+    let env = BenchEnv::setup("bench_scan");
+    let (cores, threads, check) = (env.cores, env.threads, env.check);
     println!("# scan_packed_and_rollup ({cores} cores, {threads} threads, best of {ROUNDS})");
 
     let (raw_mrows, packed_mrows, stats) = bench_packed_vs_raw();

@@ -32,6 +32,20 @@
 //! no lock class recorded an acquisition, or if the classes the workload
 //! must touch (server routing index, worker slot states, tree nodes) are
 //! missing from the table.
+//!
+//! `--history` speeds the continuous-telemetry sampler up (25 ms frames),
+//! runs the workload, and emits the full snapshot JSON with the history
+//! ring populated — exiting non-zero if the ring fails structural
+//! validation, if any frame was dropped (the run is sized to be lossless),
+//! or if the per-frame insert deltas do not sum exactly to the live
+//! counter total.
+//!
+//! `--top [--once]` drives a continuous background workload and renders a
+//! self-refreshing live cluster view from the newest history frame:
+//! ingest/query rates, interval p99s, staleness, heat spread, lock wait,
+//! and per-component SLO health. `--once` renders a single table without
+//! ANSI clearing and self-validates (frames captured, ring valid, health
+//! rules evaluated) — the CI form.
 
 use std::time::{Duration, Instant};
 
@@ -45,8 +59,152 @@ fn fail(msg: &str) -> ! {
     std::process::exit(1);
 }
 
+/// One `--top` table, rendered from the newest history frame.
+fn render_top(cluster: &Cluster) -> String {
+    let hist = cluster.history();
+    let mut out = String::new();
+    out.push_str("volap-stat --top: live cluster telemetry\n");
+    let Some(frame) = hist.latest() else {
+        out.push_str("  (no history frames captured yet)\n");
+        return out;
+    };
+    let ms = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{:.2}", v * 1e3));
+    out.push_str(&format!(
+        "  frame #{} ({:.0} ms interval, {} series, {} dropped)\n",
+        frame.seq,
+        frame.dt_seconds() * 1e3,
+        hist.series.len(),
+        hist.dropped
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>12.0}/s   p99 {:>8} ms\n",
+        "ingest (inserts)",
+        hist.rate_sum(frame, "volap_server_inserts_total"),
+        ms(hist.value(frame, "p99(volap_server_insert_seconds)")),
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>12.0}/s   p99 {:>8} ms\n",
+        "queries",
+        hist.rate_sum(frame, "volap_server_queries_total"),
+        ms(hist.value(frame, "p99(volap_server_query_seconds)")),
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>12.0}/s   p99 {:>8} ms\n",
+        "sync rounds",
+        hist.rate_sum(frame, "volap_server_sync_rounds_total"),
+        ms(hist.value(frame, "p99(volap_staleness_seconds)")),
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>12.1}      (hot-cold insert rate)\n",
+        "heat spread",
+        hist.value(frame, "gauge(heat_insert_rate_spread)").unwrap_or(0.0),
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>11.2}%      (worst class)\n",
+        "lock contention",
+        hist.value(frame, "gauge(lock_contention_frac_max)").unwrap_or(0.0) * 100.0,
+    ));
+    out.push_str(&format!(
+        "  {:<26} {:>11.2}%      (of wall time)\n",
+        "lock wait",
+        hist.value(frame, "gauge(lock_wait_frac)").unwrap_or(0.0) * 100.0,
+    ));
+    out.push_str("  health:\n");
+    for h in cluster.health() {
+        out.push_str(&format!(
+            "    {:<12} {:<16} {:<9} value {:>12.4}{}\n",
+            h.component,
+            h.rule,
+            h.state.as_str(),
+            h.value,
+            if h.anomalous { format!("  ANOMALY z={:.1}", h.z_score) } else { String::new() },
+        ));
+    }
+    out
+}
+
+/// The `--top` mode: continuous background workload + live view.
+fn run_top(once: bool) {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 2;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2;
+    cfg.sync_period = Duration::from_millis(20);
+    cfg.history_interval = Duration::from_millis(50);
+    cfg.history_capacity = 2048;
+    let cluster = Cluster::start(cfg);
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Background drivers: one insert stream per server plus queries.
+        for srv in 0..2 {
+            let client = cluster.client_on(srv);
+            let stop = &stop;
+            let schema = &schema;
+            s.spawn(move || {
+                let mut gen = DataGen::new(schema, 7 + srv as u64, 1.3);
+                let mut n = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    for item in gen.items(64) {
+                        if client.insert(&item).is_err() {
+                            return; // cluster shutting down
+                        }
+                    }
+                    n += 1;
+                    if n.is_multiple_of(8) && client.query(&QueryBox::all(schema)).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+
+        let refreshes = if once { 1 } else { 20 };
+        // Let the sampler frame some activity before the first render.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while cluster.history().frames.len() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        for i in 0..refreshes {
+            if !once {
+                // ANSI clear + home: self-refreshing like top(1).
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top(&cluster));
+            if i + 1 < refreshes {
+                std::thread::sleep(Duration::from_millis(500));
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+    });
+
+    // Self-validate: CI runs `--top --once` and relies on the exit code.
+    let hist = cluster.history();
+    let health = cluster.health();
+    cluster.shutdown();
+    if hist.frames.is_empty() {
+        fail("--top captured no history frames");
+    }
+    if let Err(e) = hist.validate() {
+        fail(&format!("--top history ring failed validation: {e}"));
+    }
+    if hist.delta_sum_all_labels("volap_server_inserts_total") <= 0.0 {
+        fail("--top frames recorded no insert activity");
+    }
+    if health.is_empty() {
+        fail("--top health watchdog evaluated no rules");
+    }
+    eprintln!("volap-stat: OK (history valid, {} health rules)", health.len());
+}
+
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().cloned().unwrap_or_default();
+    if mode == "--top" {
+        let once = args.iter().any(|a| a == "--once");
+        run_top(once);
+        return;
+    }
     let schema = Schema::uniform(3, 2, 8);
     let mut cfg = VolapConfig::new(schema.clone());
     cfg.servers = 2;
@@ -65,6 +223,13 @@ fn main() {
         // Materialize one rollup level so an aligned coarse query below can
         // prove the rollup-hit counter reaches EXPLAIN output.
         cfg.rollup_levels = 1;
+    }
+    if mode == "--history" {
+        // Fast frames, and a ring big enough that nothing is evicted during
+        // the run: the export below must be lossless so per-frame deltas
+        // sum exactly to the live counter totals.
+        cfg.history_interval = Duration::from_millis(25);
+        cfg.history_capacity = 8192;
     }
     let cluster = Cluster::start(cfg);
 
@@ -117,6 +282,14 @@ fn main() {
             fail("EXPLAIN JSON does not carry the rollup_hits counter");
         }
     }
+    if mode == "--history" {
+        // Ingest is finished; wait until the sampler has framed all of it.
+        while cluster.history().delta_sum_all_labels("volap_server_inserts_total") < 4_000.0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
 
     let snap = cluster.snapshot();
     let slow = cluster.slow_traces();
@@ -166,6 +339,9 @@ fn main() {
     }
     if snap.staleness.count == 0 {
         fail("staleness probe recorded no samples");
+    }
+    if snap.captured_unix_us == 0 || snap.uptime_us == 0 {
+        fail("snapshot is missing its capture-time / uptime stamps");
     }
     let prom = export::to_prometheus(&snap);
     match export::from_prometheus(&prom) {
@@ -243,6 +419,34 @@ fn main() {
                     l.hold_sum_seconds * 1e3,
                 );
             }
+        }
+        "--history" => {
+            let hist = &snap.history;
+            if hist.frames.is_empty() {
+                fail("history ring captured no frames");
+            }
+            if hist.dropped != 0 {
+                fail(&format!(
+                    "history ring dropped {} frames on a run sized to be lossless",
+                    hist.dropped
+                ));
+            }
+            if let Err(e) = hist.validate() {
+                fail(&format!("history ring failed structural validation: {e}"));
+            }
+            let framed = hist.delta_sum_all_labels("volap_server_inserts_total");
+            let live = snap.counter("volap_server_inserts_total") as f64;
+            if framed != live {
+                fail(&format!(
+                    "per-frame insert deltas sum to {framed} but the live counter reads {live}"
+                ));
+            }
+            println!("{json}");
+            eprintln!(
+                "volap-stat: history lossless ({} frames, {} series, deltas sum to {live})",
+                hist.frames.len(),
+                hist.series.len()
+            );
         }
         "--snapshot" => {
             if snap.heat.is_empty() {

@@ -6,7 +6,8 @@
 //! service threads and speak the real wire protocol; only the physical
 //! network is simulated.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use volap_coord::CoordService;
@@ -34,9 +35,39 @@ pub struct Cluster {
     workers: ObsMutex<Vec<WorkerHandle>>,
     servers: Vec<ServerHandle>,
     manager: Option<ManagerHandle>,
+    sampler: Option<SamplerHandle>,
     bootstrap_ep: Endpoint,
     next_client: AtomicUsize,
     next_worker_id: AtomicUsize,
+}
+
+/// The continuous-telemetry sampler thread: every `history_interval` it
+/// captures one history frame from the live registry and runs the SLO
+/// health watchdog over it.
+struct SamplerHandle {
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<()>,
+}
+
+impl SamplerHandle {
+    fn spawn(obs: Obs, interval: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_t = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("volap-sampler".into())
+            .spawn(move || {
+                while crate::util::sleep_unless_stopped(interval, &stop_t) {
+                    obs.sample_tick();
+                }
+            })
+            .expect("spawn sampler thread");
+        Self { stop, join }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.join.join();
+    }
 }
 
 impl Cluster {
@@ -63,7 +94,15 @@ impl Cluster {
                 slow_threshold: cfg.trace_slow_threshold,
                 ..TraceConfig::default()
             },
+            history: volap_obs::HistoryConfig {
+                enabled: true,
+                interval: cfg.history_interval,
+                capacity: cfg.history_capacity,
+            },
+            health_rules: cfg.health_rules.clone(),
         });
+        let sampler = (cfg.history_capacity > 0 && !cfg.history_interval.is_zero())
+            .then(|| SamplerHandle::spawn(obs.clone(), cfg.history_interval));
         net.attach_obs(obs.registry());
         net.attach_tracer(obs.tracer());
         // Lock-order violations (Record mode) land in this deployment's
@@ -98,6 +137,7 @@ impl Cluster {
             workers: ObsMutex::new(&WORKERS_CLASS, workers),
             servers,
             manager,
+            sampler,
             bootstrap_ep,
             next_client: AtomicUsize::new(0),
             next_worker_id,
@@ -210,6 +250,21 @@ impl Cluster {
         self.obs().audit().snapshot()
     }
 
+    /// The metrics time-series ring: one frame per sampler interval holding
+    /// counter deltas, interval p50/p99s, and derived gauges (staleness,
+    /// heat spread, lock contention fractions), bounded by
+    /// `VolapConfig::history_capacity`.
+    pub fn history(&self) -> volap_obs::HistorySnapshot {
+        self.obs().history().snapshot()
+    }
+
+    /// Current SLO health per rule, sorted by component then rule —
+    /// the health watchdog's latest `Healthy`/`Degraded`/`Critical` state
+    /// machines plus the values and anomaly z-scores that drove them.
+    pub fn health(&self) -> Vec<volap_obs::ComponentHealth> {
+        self.obs().health()
+    }
+
     /// The slow-query flight recorder: the most recent sampled traces whose
     /// root span exceeded `VolapConfig::trace_slow_threshold`, oldest
     /// first. Render one with `Trace::render_tree` or export the lot with
@@ -284,8 +339,11 @@ impl Cluster {
         }
     }
 
-    /// Stop everything: manager, servers, workers.
+    /// Stop everything: sampler, manager, servers, workers.
     pub fn shutdown(self) {
+        if let Some(s) = self.sampler {
+            s.stop();
+        }
         if let Some(m) = self.manager {
             m.stop();
         }

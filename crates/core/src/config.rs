@@ -118,6 +118,21 @@ pub struct VolapConfig {
     /// Sampled traces whose *root* span takes at least this long enter the
     /// slow-query flight recorder ([`crate::Cluster::slow_traces`]).
     pub trace_slow_threshold: Duration,
+    /// How often the continuous-telemetry sampler captures a history frame
+    /// (registry deltas → interval rates and quantiles) and runs the SLO
+    /// health watchdog. `Duration::ZERO` disables the sampler thread
+    /// entirely; the ring can also be paused at runtime via
+    /// `Obs::history().set_enabled(false)`.
+    pub history_interval: Duration,
+    /// Frames retained by the history ring (oldest evicted first). `0`
+    /// disables capture and the sampler thread. The default (240 frames ×
+    /// 250 ms) covers the last minute.
+    pub history_capacity: usize,
+    /// SLO rules the health watchdog evaluates every sampler interval.
+    /// Defaults to `HealthRule::defaults()` (see DESIGN.md §16 for the
+    /// table); empty disables health tracking while keeping the history
+    /// ring.
+    pub health_rules: Vec<volap_obs::HealthRule>,
 }
 
 impl VolapConfig {
@@ -155,6 +170,9 @@ impl VolapConfig {
             lock_check: true,
             trace_sample: 0,
             trace_slow_threshold: Duration::from_millis(100),
+            history_interval: Duration::from_millis(250),
+            history_capacity: 240,
+            health_rules: volap_obs::HealthRule::defaults(),
         }
     }
 

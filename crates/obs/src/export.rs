@@ -8,7 +8,9 @@
 
 use crate::audit::BalanceDecision;
 use crate::events::Event;
+use crate::health::ComponentHealth;
 use crate::heat::HeatEntry;
+use crate::history::{Frame, SeriesDef};
 use crate::json::{self, escape as json_escape, Json};
 use crate::lock::LockClassSnapshot;
 use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
@@ -64,7 +66,12 @@ fn type_line(out: &mut String, last: &mut Option<String>, name: &str, kind: &str
 }
 
 /// Render the metric part of a snapshot as Prometheus text exposition.
+/// Renders [`Snapshot::metrics_only`], so capture time, uptime, history
+/// ring totals, and per-component health states appear as the synthetic
+/// `volap_captured_unix_microseconds` / `volap_uptime_microseconds` /
+/// `volap_history_*` / `volap_health_state{component=..}` series.
 pub fn to_prometheus(snap: &Snapshot) -> String {
+    let snap = snap.metrics_only();
     let mut out = String::new();
     let mut last = None;
     for c in &snap.counters {
@@ -269,9 +276,13 @@ fn json_label(id: &MetricId) -> String {
     }
 }
 
-/// Render a full snapshot (metrics + events + staleness) as JSON.
+/// Render a full snapshot (metrics + events + staleness + history +
+/// health) as JSON. Lossless: [`from_json`] recovers the exact input.
 pub fn to_json(snap: &Snapshot) -> String {
-    let mut out = String::from("{\n  \"counters\": [");
+    let mut out = format!(
+        "{{\n  \"captured_unix_us\": {},\n  \"uptime_us\": {},\n  \"counters\": [",
+        snap.captured_unix_us, snap.uptime_us
+    );
     let mut first = true;
     for c in &snap.counters {
         if !first {
@@ -406,10 +417,65 @@ pub fn to_json(snap: &Snapshot) -> String {
     let samples: Vec<String> =
         snap.staleness.samples_seconds.iter().map(|s| format!("{s}")).collect();
     out.push_str(&format!(
-        "\n  ],\n  \"staleness\": {{\"count\": {}, \"samples_seconds\": [{}]}}\n}}\n",
+        "\n  ],\n  \"staleness\": {{\"count\": {}, \"samples_seconds\": [{}]}},",
         snap.staleness.count,
         samples.join(",")
     ));
+    out.push_str(&format!(
+        "\n  \"history\": {{\"interval_us\": {}, \"capacity\": {}, \"dropped\": {}, \"series\": [",
+        snap.history.interval_us, snap.history.capacity, snap.history.dropped
+    ));
+    first = true;
+    for s in &snap.history.series {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"key\": \"{}\", \"kind\": \"{}\"}}",
+            json_escape(&s.key),
+            s.kind.as_str()
+        ));
+    }
+    out.push_str("\n  ], \"frames\": [");
+    first = true;
+    for f in &snap.history.frames {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let values: Vec<String> = f.values.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&format!(
+            "\n    {{\"seq\": {}, \"start_us\": {}, \"end_us\": {}, \"values\": [{}]}}",
+            f.seq,
+            f.start_us,
+            f.end_us,
+            values.join(",")
+        ));
+    }
+    out.push_str("\n  ]},\n  \"health\": [");
+    first = true;
+    for h in &snap.health {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"component\": \"{}\", \"rule\": \"{}\", \"selector\": \"{}\", \
+             \"state\": \"{}\", \"value\": {}, \"z_score\": {}, \"anomalous\": {}, \
+             \"transitions\": {}, \"since_us\": {}}}",
+            json_escape(&h.component),
+            json_escape(&h.rule),
+            json_escape(&h.selector),
+            h.state.as_str(),
+            h.value,
+            h.z_score,
+            u64::from(h.anomalous),
+            h.transitions,
+            h.since_us
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -515,6 +581,44 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
         samples.push(s.num()?);
     }
     snap.staleness = StalenessSnapshot { count: st.get("count")?.num()?, samples_seconds: samples };
+    snap.captured_unix_us = root.get("captured_unix_us")?.num()?;
+    snap.uptime_us = root.get("uptime_us")?.num()?;
+    let hist = root.get("history")?;
+    snap.history.interval_us = hist.get("interval_us")?.num()?;
+    snap.history.capacity = hist.get("capacity")?.num()?;
+    snap.history.dropped = hist.get("dropped")?.num()?;
+    for s in hist.get("series")?.arr()? {
+        snap.history.series.push(SeriesDef {
+            key: s.get("key")?.str()?.to_string(),
+            kind: s.get("kind")?.str()?.parse()?,
+        });
+    }
+    for f in hist.get("frames")?.arr()? {
+        let mut values = Vec::new();
+        for v in f.get("values")?.arr()? {
+            values.push(v.num()?);
+        }
+        snap.history.frames.push(Frame {
+            seq: f.get("seq")?.num()?,
+            start_us: f.get("start_us")?.num()?,
+            end_us: f.get("end_us")?.num()?,
+            values,
+        });
+    }
+    for h in root.get("health")?.arr()? {
+        let anomalous: u64 = h.get("anomalous")?.num()?;
+        snap.health.push(ComponentHealth {
+            component: h.get("component")?.str()?.to_string(),
+            rule: h.get("rule")?.str()?.to_string(),
+            selector: h.get("selector")?.str()?.to_string(),
+            state: h.get("state")?.str()?.parse()?,
+            value: h.get("value")?.num()?,
+            z_score: h.get("z_score")?.num()?,
+            anomalous: anomalous != 0,
+            transitions: h.get("transitions")?.num()?,
+            since_us: h.get("since_us")?.num()?,
+        });
+    }
     Ok(snap)
 }
 
@@ -610,9 +714,13 @@ pub fn traces_from_perfetto(text: &str) -> Result<Vec<Trace>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::health::HealthState;
+    use crate::history::{HistorySnapshot, SeriesKind};
 
     fn sample_snapshot() -> Snapshot {
         Snapshot {
+            captured_unix_us: 1_754_000_000_123_456,
+            uptime_us: 9_876_543,
             counters: vec![
                 ScalarSnapshot { id: MetricId::plain("volap_a_total"), value: 3 },
                 ScalarSnapshot {
@@ -672,6 +780,58 @@ mod tests {
                 hold_sum_seconds: 3.25,
             }],
             staleness: StalenessSnapshot { count: 2, samples_seconds: vec![0.001, 0.25] },
+            history: HistorySnapshot {
+                interval_us: 250_000,
+                capacity: 4,
+                dropped: 2,
+                series: vec![
+                    SeriesDef {
+                        key: "rate(volap_a_total)".into(),
+                        kind: SeriesKind::Rate,
+                    },
+                    SeriesDef {
+                        key: "p99(volap_lat_seconds)".into(),
+                        kind: SeriesKind::P99,
+                    },
+                    SeriesDef {
+                        key: "gauge(heat_insert_imbalance)".into(),
+                        kind: SeriesKind::Gauge,
+                    },
+                ],
+                frames: vec![
+                    Frame { seq: 2, start_us: 500_000, end_us: 750_000, values: vec![3.0, 1e-9] },
+                    Frame {
+                        seq: 3,
+                        start_us: 750_000,
+                        end_us: 1_000_000,
+                        values: vec![0.0, 3e-9, 1.5],
+                    },
+                ],
+            },
+            health: vec![
+                ComponentHealth {
+                    component: "image_sync".into(),
+                    rule: "staleness_p99".into(),
+                    selector: "p99(volap_staleness_seconds)".into(),
+                    state: HealthState::Degraded,
+                    value: 1.25,
+                    z_score: 4.5,
+                    anomalous: true,
+                    transitions: 1,
+                    since_us: 750_000,
+                },
+                ComponentHealth {
+                    component: "locks".into(),
+                    rule: "contention".into(),
+                    selector: "gauge(lock_contention_frac_max)".into(),
+                    state: HealthState::Healthy,
+                    value: 0.015625,
+                    z_score: -0.5,
+                    anomalous: false,
+                    transitions: 0,
+                    since_us: 0,
+                },
+            ],
         }
     }
 

@@ -52,16 +52,32 @@ impl RateEwma {
         if dt_s <= 0.0 {
             return;
         }
-        let inst = events as f64 / dt_s;
+        self.update_value(events as f64 / dt_s, dt, halflife);
+    }
+
+    /// Fold an already-computed instantaneous value into the estimate — the
+    /// generalization [`update`](Self::update) is built on. The health
+    /// watchdog uses this to keep EWMA baselines over arbitrary series
+    /// values (quantiles, fractions), not just event counts.
+    pub fn update_value(&mut self, value: f64, dt: Duration, halflife: Duration) {
+        let dt_s = dt.as_secs_f64();
+        if dt_s <= 0.0 || !value.is_finite() {
+            return;
+        }
         if !self.primed {
-            self.rate = inst;
+            self.rate = value;
             self.primed = true;
             return;
         }
         let hl = halflife.as_secs_f64().max(f64::MIN_POSITIVE);
         // alpha = 1 - 2^(-dt/hl): one half-life of silence halves the rate.
         let alpha = 1.0 - (-dt_s / hl * std::f64::consts::LN_2).exp();
-        self.rate += alpha * (inst - self.rate);
+        self.rate += alpha * (value - self.rate);
+    }
+
+    /// Whether any observation has been folded in yet.
+    pub fn primed(&self) -> bool {
+        self.primed
     }
 
     /// The current estimate, events/second.
@@ -123,6 +139,14 @@ impl HeatMap {
     /// All entries, ordered by shard id.
     pub fn snapshot(&self) -> Vec<HeatEntry> {
         self.inner.entries.lock().unwrap().values().cloned().collect()
+    }
+
+    /// Visit every entry in shard order without cloning (the history
+    /// sampler folds these into spread/imbalance series every interval).
+    pub fn visit(&self, mut f: impl FnMut(&HeatEntry)) {
+        for e in self.inner.entries.lock().unwrap().values() {
+            f(e);
+        }
     }
 }
 

@@ -29,7 +29,9 @@
 pub mod audit;
 pub mod events;
 pub mod export;
+pub mod health;
 pub mod heat;
+pub mod history;
 pub mod json;
 pub mod lock;
 pub mod registry;
@@ -39,14 +41,18 @@ pub mod trace;
 
 pub use audit::{AuditLog, BalanceDecision};
 pub use events::{Event, EventLog};
+pub use health::{ComponentHealth, HealthRule, HealthState, Watchdog};
 pub use heat::{HeatEntry, HeatMap, RateEwma};
+pub use history::{
+    series_key, Frame, History, HistoryConfig, HistorySnapshot, SeriesDef, SeriesKind,
+};
 pub use lock::{
     CheckMode, LockClass, LockClassSnapshot, LockOrderViolation, ObsMutex, ObsMutexGuard,
     ObsRwLock, ObsRwLockReadGuard, ObsRwLockWriteGuard,
 };
 pub use registry::{
-    bucket_index, bucket_le_seconds, Counter, Gauge, Histogram, HistogramSnapshot, MetricId,
-    Registry, ScalarSnapshot, Timer, HIST_BUCKETS,
+    bucket_index, bucket_le_seconds, Counter, Gauge, HistView, Histogram, HistogramSnapshot,
+    MetricId, MetricView, Registry, ScalarSnapshot, Timer, HIST_BUCKETS,
 };
 pub use snapshot::Snapshot;
 pub use staleness::{StalenessProbe, StalenessSnapshot};
@@ -69,6 +75,12 @@ pub struct ObsConfig {
     /// Causal-tracing sizing and sampling (the `VolapConfig::trace_sample` /
     /// `trace_slow_threshold` knobs upstream).
     pub trace: TraceConfig,
+    /// Metrics time-series ring sizing (the `VolapConfig::history_interval`
+    /// / `history_capacity` knobs upstream). Capture happens only when the
+    /// owner drives [`Obs::sample_tick`], typically from a sampler thread.
+    pub history: HistoryConfig,
+    /// SLO rules the health watchdog evaluates each sampler interval.
+    pub health_rules: Vec<HealthRule>,
 }
 
 impl Default for ObsConfig {
@@ -79,6 +91,8 @@ impl Default for ObsConfig {
             heat_enabled: true,
             audit_capacity: 1024,
             trace: TraceConfig::default(),
+            history: HistoryConfig::default(),
+            health_rules: HealthRule::defaults(),
         }
     }
 }
@@ -93,6 +107,9 @@ pub struct Obs {
     tracer: Tracer,
     heat: HeatMap,
     audit: AuditLog,
+    history: History,
+    watchdog: Watchdog,
+    epoch: std::time::Instant,
 }
 
 impl Default for Obs {
@@ -106,6 +123,7 @@ impl Obs {
     pub fn new(cfg: ObsConfig) -> Self {
         let registry = Registry::new(cfg.histograms);
         let staleness = StalenessProbe::new(registry.histogram("volap_staleness_seconds"));
+        let epoch = std::time::Instant::now();
         Self {
             registry,
             events: EventLog::new(cfg.event_capacity),
@@ -113,6 +131,9 @@ impl Obs {
             tracer: Tracer::new(cfg.trace),
             heat: HeatMap::new(cfg.heat_enabled),
             audit: AuditLog::new(cfg.audit_capacity),
+            history: History::new(&cfg.history, epoch),
+            watchdog: Watchdog::new(cfg.health_rules),
+            epoch,
         }
     }
 
@@ -146,6 +167,34 @@ impl Obs {
         &self.audit
     }
 
+    /// The metrics time-series ring (empty until [`sample_tick`]s happen).
+    ///
+    /// [`sample_tick`]: Self::sample_tick
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Current per-rule SLO health, sorted by component then rule.
+    pub fn health(&self) -> Vec<ComponentHealth> {
+        self.watchdog.snapshot()
+    }
+
+    /// The instant this core was built; history frame timestamps and
+    /// `Snapshot::uptime_us` are measured from it.
+    pub fn epoch(&self) -> std::time::Instant {
+        self.epoch
+    }
+
+    /// One sampler tick: capture a history frame from the live registry /
+    /// heat map / event ring, then run the health watchdog over it. Called
+    /// by the cluster's sampler thread every `history_interval`; safe (and
+    /// a no-op) when the history ring is disabled or zero-capacity.
+    pub fn sample_tick(&self) {
+        if self.history.capture(&self.registry, &self.heat, &self.events) {
+            self.watchdog.evaluate(&self.history, &self.events);
+        }
+    }
+
     /// Route lock-order violations into this core's event log as
     /// `lock_order_violation` events. The hook is process-global (lock
     /// telemetry itself is); the cluster installs it once at start.
@@ -165,7 +214,13 @@ impl Obs {
         let locks = lock::export_into(&mut counters, &mut histograms);
         counters.sort_by(|a, b| a.id.cmp(&b.id));
         histograms.sort_by(|a, b| a.id.cmp(&b.id));
+        let captured_unix_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
         Snapshot {
+            captured_unix_us,
+            uptime_us: self.epoch.elapsed().as_micros() as u64,
             counters,
             gauges,
             histograms,
@@ -174,6 +229,8 @@ impl Obs {
             audit: self.audit.snapshot(),
             locks,
             staleness: self.staleness.snapshot(),
+            history: self.history.snapshot(),
+            health: self.health(),
         }
     }
 }

@@ -854,6 +854,24 @@ impl LockClassSnapshot {
     }
 }
 
+/// Visit every registered class without allocating:
+/// `(name, acquisitions, contended, wait_sum_ns)` per class, in
+/// registration order. The history sampler turns the deltas into per-class
+/// contention-fraction series each interval, so this path must stay cheap —
+/// it holds the class-registry mutex only for the duration of the relaxed
+/// loads (that mutex is otherwise touched once per class, at first
+/// acquisition).
+pub fn visit_classes(mut f: impl FnMut(&'static str, u64, u64, u64)) {
+    for class in CLASS_REGISTRY.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        f(
+            class.name,
+            class.acquisitions.load(Ordering::Relaxed),
+            class.contended.load(Ordering::Relaxed),
+            class.wait.sum_ns.load(Ordering::Relaxed),
+        );
+    }
+}
+
 /// Snapshot every class acquired so far (sorted by rank, then name) and
 /// append the metric renditions — `volap_lock_acquisitions_total{class=..}`,
 /// `volap_lock_contended_total{class=..}`, `volap_lock_wait_seconds{..}`,

@@ -1,17 +1,24 @@
 //! A coherent point-in-time view of everything the observability core
-//! knows: metrics, recent events, and measured staleness.
+//! knows: metrics, recent events, measured staleness, the metrics
+//! time-series ring, and SLO health.
 
 use crate::audit::BalanceDecision;
 use crate::events::Event;
+use crate::health::ComponentHealth;
 use crate::heat::HeatEntry;
+use crate::history::HistorySnapshot;
 use crate::lock::LockClassSnapshot;
-use crate::registry::{HistogramSnapshot, ScalarSnapshot};
+use crate::registry::{HistogramSnapshot, MetricId, ScalarSnapshot};
 use crate::staleness::StalenessSnapshot;
 
 /// One full observability snapshot. `PartialEq` + the exporter parsers in
 /// [`crate::export`] give exact round-trip tests.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Snapshot {
+    /// Wall-clock capture time, µs since the Unix epoch.
+    pub captured_unix_us: u64,
+    /// Monotonic cluster uptime at capture, µs since the obs core was built.
+    pub uptime_us: u64,
     /// All counters, sorted by id.
     pub counters: Vec<ScalarSnapshot<u64>>,
     /// All gauges, sorted by id.
@@ -30,23 +37,67 @@ pub struct Snapshot {
     pub locks: Vec<LockClassSnapshot>,
     /// Measured image-staleness samples.
     pub staleness: StalenessSnapshot,
+    /// The metrics time-series ring (empty unless the sampler ran).
+    pub history: HistorySnapshot,
+    /// Per-rule SLO health, sorted by component then rule.
+    pub health: Vec<ComponentHealth>,
 }
 
 impl Snapshot {
-    /// This snapshot with events, heat, audit, and staleness stripped — the
-    /// subset the Prometheus text exposition can represent (raw samples and
-    /// the structured logs have no exposition form; staleness *distribution*
-    /// is still present as the `volap_staleness_seconds` histogram).
+    /// This snapshot with events, heat, audit, staleness, history frames,
+    /// and structured health stripped — the subset the Prometheus text
+    /// exposition can represent. Capture time, uptime, history ring totals,
+    /// and per-component health states are *folded in* as synthetic metrics
+    /// (`volap_captured_unix_microseconds`, `volap_uptime_microseconds`,
+    /// `volap_history_frames`, `volap_history_dropped_total`, and a
+    /// `volap_health_state` gauge holding the worst rule state per
+    /// component), so the exposition still carries the headline telemetry.
+    /// Folding is idempotent: re-folding an already-folded snapshot (the
+    /// exporter round-trip) changes nothing.
     pub fn metrics_only(&self) -> Snapshot {
+        let mut counters = self.counters.clone();
+        let mut gauges = self.gauges.clone();
+        let already = |gs: &[ScalarSnapshot<i64>], name: &str| gs.iter().any(|g| g.id.name == name);
+        if !already(&gauges, "volap_captured_unix_microseconds") {
+            gauges.push(ScalarSnapshot {
+                id: MetricId::plain("volap_captured_unix_microseconds"),
+                value: self.captured_unix_us as i64,
+            });
+            gauges.push(ScalarSnapshot {
+                id: MetricId::plain("volap_uptime_microseconds"),
+                value: self.uptime_us as i64,
+            });
+            gauges.push(ScalarSnapshot {
+                id: MetricId::plain("volap_history_frames"),
+                value: self.history.frames.len() as i64,
+            });
+            counters.push(ScalarSnapshot {
+                id: MetricId::plain("volap_history_dropped_total"),
+                value: self.history.dropped,
+            });
+            for h in &self.health {
+                let id = MetricId::labeled("volap_health_state", "component", &h.component);
+                match gauges.iter_mut().find(|g| g.id == id) {
+                    Some(g) => g.value = g.value.max(h.state.score()),
+                    None => gauges.push(ScalarSnapshot { id, value: h.state.score() }),
+                }
+            }
+            counters.sort_by(|a, b| a.id.cmp(&b.id));
+            gauges.sort_by(|a, b| a.id.cmp(&b.id));
+        }
         Snapshot {
-            counters: self.counters.clone(),
-            gauges: self.gauges.clone(),
+            captured_unix_us: 0,
+            uptime_us: 0,
+            counters,
+            gauges,
             histograms: self.histograms.clone(),
             events: Vec::new(),
             heat: Vec::new(),
             audit: Vec::new(),
             locks: Vec::new(),
             staleness: StalenessSnapshot::default(),
+            history: HistorySnapshot::default(),
+            health: Vec::new(),
         }
     }
 
@@ -73,5 +124,10 @@ impl Snapshot {
     /// The lock-class summary with this name.
     pub fn lock_class(&self, name: &str) -> Option<&LockClassSnapshot> {
         self.locks.iter().find(|l| l.class == name)
+    }
+
+    /// The health entry for one component's rule.
+    pub fn health_of(&self, component: &str, rule: &str) -> Option<&ComponentHealth> {
+        self.health.iter().find(|h| h.component == component && h.rule == rule)
     }
 }
