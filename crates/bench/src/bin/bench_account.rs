@@ -1,0 +1,172 @@
+//! Per-principal accounting overhead guard, recorded to
+//! `BENCH_account.json`.
+//!
+//! Accounting is designed so *untagged* traffic pays one branch: a request
+//! without a principal never opens a bill, never reads the clock for cost
+//! purposes, and never touches the accounting mutex. This bench proves
+//! that property holds end to end: it drives an untagged mixed workload
+//! (per-item inserts plus scatter queries) through one long-lived cluster
+//! while toggling `Accounting::set_enabled` between segments, and compares
+//! ops/sec. The trimmed-mean overhead of accounting-on versus off must
+//! stay within tolerance (default 1%, `ACCOUNT_OVERHEAD_TOLERANCE` to
+//! override); the process exits non-zero otherwise (`--check` is the same
+//! gated run, matching the other bench binaries).
+//!
+//! Each round runs both configurations back to back in rotating order, so
+//! slow throughput decay from tree growth lands on both equally and
+//! cancels from the trimmed mean. The run-level stddev and two-sigma
+//! noise floor are reported next to the overhead so a quiet machine is
+//! never mistaken for a fast implementation.
+//!
+//! `--no-run` skips the timing runs and instead smoke-tests the
+//! accounting pipeline on a tiny cluster: a tagged workload must produce
+//! exact per-principal totals, a populated heavy-hitter sketch, and
+//! lossless exporter round trips.
+
+use std::time::Instant;
+
+use volap::{ClientSession, Cluster, VolapConfig};
+use volap_bench::{BenchEnv, GateNoise};
+use volap_data::DataGen;
+use volap_dims::{Item, QueryBox, Schema};
+use volap_obs::export;
+
+const ITEMS_PER_SEGMENT: usize = 6_000;
+const QUERIES_PER_SEGMENT: usize = 60;
+const ROUNDS: usize = 10; // even: each config sits in each slot equally
+const TRIM: usize = 2;
+
+/// One untagged mixed segment: ops/sec over inserts + full-space queries.
+fn segment(client: &ClientSession, items: &[Item], query: &QueryBox) -> f64 {
+    let t = Instant::now();
+    let per_query = items.len() / QUERIES_PER_SEGMENT;
+    for (i, item) in items.iter().enumerate() {
+        client.insert(item).expect("insert");
+        if i % per_query == 0 {
+            client.query(query).expect("query");
+        }
+    }
+    (items.len() + QUERIES_PER_SEGMENT) as f64 / t.elapsed().as_secs_f64()
+}
+
+fn trimmed_mean(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let kept = &v[TRIM..v.len() - TRIM];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+fn smoke() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let mut gen = DataGen::new(&schema, 23, 1.2);
+    let tenant = cluster.client().with_principal("smoke-tenant");
+    for item in gen.items(200) {
+        tenant.insert(&item).expect("insert");
+    }
+    for _ in 0..10 {
+        tenant.query(&QueryBox::all(&schema)).expect("query");
+    }
+    let snap = cluster.snapshot();
+    cluster.shutdown();
+    let acc = &snap.accounting;
+    assert!(acc.enabled, "smoke: accounting disabled by default");
+    let t = acc.principal("smoke-tenant").expect("smoke: tenant not accounted");
+    assert_eq!(t.requests, 210, "smoke: exact request total wrong");
+    assert!(t.cost.bytes > 0 && t.cost.wall_us > 0, "smoke: empty cost vector");
+    let hops = acc.top_of("net_hops").expect("smoke: net_hops sketch missing");
+    assert!(!hops.entries.is_empty(), "smoke: heavy-hitter sketch empty");
+    let back = export::from_json(&export::to_json(&snap)).expect("smoke: JSON parse");
+    assert_eq!(back.accounting, snap.accounting, "smoke: JSON round trip lost accounting");
+    let rt = export::from_prometheus(&export::to_prometheus(&snap))
+        .expect("smoke: prometheus parse");
+    assert_eq!(rt, snap.metrics_only(), "smoke: prometheus round trip lost accounting");
+    println!(
+        "account smoke OK: {} request(s) charged, {} sketch entr(ies), exporters round-trip",
+        t.requests,
+        hops.entries.len()
+    );
+}
+
+fn main() {
+    let env = BenchEnv::setup("bench_account");
+    if env.no_run {
+        smoke();
+        return;
+    }
+    let tolerance: f64 = std::env::var("ACCOUNT_OVERHEAD_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 1;
+    cfg.workers = 1;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    let cluster = Cluster::start(cfg);
+    let client = cluster.client(); // untagged: the hot path under test
+    let accounting = cluster.accounting().clone();
+    let query = QueryBox::all(&schema);
+    let mut gen = DataGen::new(&schema, 29, 1.3);
+
+    // Warm up threads, allocator, and the first tree levels untimed.
+    for _ in 0..2 {
+        segment(&client, &gen.items(ITEMS_PER_SEGMENT), &query);
+    }
+
+    // Accounting on (core armed; untagged requests still skip after one
+    // branch) vs off (the same branch reads a disabled flag).
+    const CONFIGS: [bool; 2] = [true, false];
+    let mut thru = [Vec::new(), Vec::new()];
+    for round in 0..ROUNDS {
+        for slot in 0..2 {
+            let which = (round + slot) % 2;
+            accounting.set_enabled(CONFIGS[which]);
+            thru[which].push(segment(&client, &gen.items(ITEMS_PER_SEGMENT), &query));
+        }
+        println!(
+            "round {round:>2}: mixed on {:>7.0}/s  off {:>7.0}/s",
+            thru[0][round], thru[1][round]
+        );
+    }
+    accounting.set_enabled(true);
+    cluster.shutdown();
+
+    let noise = GateNoise::from_rounds(&thru[0], &thru[1]);
+    let m = [trimmed_mean(thru[0].clone()), trimmed_mean(thru[1].clone())];
+    let overhead = (m[1] - m[0]) / m[1];
+    let ok = overhead <= tolerance;
+    println!("mixed: on {:.0}/s  off {:.0}/s (trimmed means)", m[0], m[1]);
+    println!(
+        "accounting untagged overhead {:.2}% (tolerance {:.0}%) {}",
+        overhead * 100.0,
+        tolerance * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    noise.report(overhead);
+    let json = format!(
+        "{{\n  \"bench\": \"account_overhead\",\n  {},\n  \
+         {},\n  \
+         \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
+         \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
+         \"mixed_per_s\": {{\"accounting_on\": {:.0}, \"accounting_off\": {:.0}}},\n  \
+         \"untagged_overhead_frac\": {overhead:.4},\n  \
+         {},\n  \
+         \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
+        env.json_fields(),
+        env.headline("untagged_overhead_frac", (overhead * 1e4).round() / 1e4, false),
+        m[0],
+        m[1],
+        noise.json_fragment()
+    );
+    std::fs::write("BENCH_account.json", &json).expect("write BENCH_account.json");
+    println!("wrote BENCH_account.json");
+    if !ok {
+        std::process::exit(1);
+    }
+}

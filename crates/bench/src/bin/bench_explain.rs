@@ -151,6 +151,7 @@ fn main() {
         trimmed_mean(query[1].clone()),
         trimmed_mean(query[2].clone()),
     ];
+    let noise = volap_bench::GateNoise::from_rounds(&query[1], &query[0]);
     let query_overhead = (qry[0] - qry[1]) / qry[0];
     let ingest_overhead = (ing[0] - ing[1]) / ing[0];
     let analyze_overhead = (qry[0] - qry[2]) / qry[0];
@@ -169,8 +170,10 @@ fn main() {
         tolerance * 100.0,
         if ok { "OK" } else { "FAIL" }
     );
+    noise.report(query_overhead);
     let json = format!(
         "{{\n  \"bench\": \"explain_overhead\",\n  {},\n  \
+         {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"query_per_s\": {{\"heat_off\": {:.0}, \"heat_on\": {:.0}, \"analyze\": {:.0}}},\n  \
@@ -178,9 +181,12 @@ fn main() {
          \"query_overhead_frac_heat_on\": {query_overhead:.4},\n  \
          \"ingest_overhead_frac_heat_on\": {ingest_overhead:.4},\n  \
          \"query_overhead_frac_analyze\": {analyze_overhead:.4},\n  \
+         {},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
         env.json_fields(),
-        qry[0], qry[1], qry[2], ing[0], ing[1], ing[2]
+        env.headline("query_overhead_frac_heat_on", (query_overhead * 1e4).round() / 1e4, false),
+        qry[0], qry[1], qry[2], ing[0], ing[1], ing[2],
+        noise.json_fragment()
     );
     std::fs::write("BENCH_explain.json", &json).expect("write BENCH_explain.json");
     println!("wrote BENCH_explain.json");

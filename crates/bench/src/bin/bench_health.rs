@@ -26,7 +26,7 @@
 use std::time::{Duration, Instant};
 
 use volap::{ClientSession, Cluster, VolapConfig};
-use volap_bench::BenchEnv;
+use volap_bench::{BenchEnv, GateNoise};
 use volap_dims::{Item, Schema};
 
 const ITEMS_PER_SEGMENT: usize = 8_000;
@@ -137,6 +137,7 @@ fn main() {
     let frames_captured = cluster.history().frames.len();
     cluster.shutdown();
 
+    let noise = GateNoise::from_rounds(&ingest[0], &ingest[1]);
     let ing = [trimmed_mean(ingest[0].clone()), trimmed_mean(ingest[1].clone())];
     let overhead = (ing[1] - ing[0]) / ing[1];
     let ok = overhead <= tolerance;
@@ -147,15 +148,20 @@ fn main() {
         tolerance * 100.0,
         if ok { "OK" } else { "FAIL" }
     );
+    noise.report(overhead);
     let json = format!(
         "{{\n  \"bench\": \"health_overhead\",\n  {},\n  \
+         {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"sampler_interval_ms\": 10,\n  \"frames_captured\": {frames_captured},\n  \
          \"ingest_per_s\": {{\"sampler_on\": {:.0}, \"sampler_off\": {:.0}}},\n  \
          \"ingest_overhead_frac\": {overhead:.4},\n  \
+         {},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
         env.json_fields(),
-        ing[0], ing[1]
+        env.headline("ingest_overhead_frac", (overhead * 1e4).round() / 1e4, false),
+        ing[0], ing[1],
+        noise.json_fragment()
     );
     std::fs::write("BENCH_health.json", &json).expect("write BENCH_health.json");
     println!("wrote BENCH_health.json");

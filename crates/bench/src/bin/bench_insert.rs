@@ -71,9 +71,14 @@ fn main() {
         );
         rows.push(Row { items: n, item_per_s, batch_per_s });
     }
+    let best = rows.last().expect("at least one size measured");
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"insert_item_vs_batch\",\n");
     json.push_str(&format!("  \"cores\": {cores},\n  \"threads\": 1,\n"));
+    json.push_str(&format!(
+        "  {},\n",
+        env.headline("batch_per_s", best.batch_per_s.round(), true)
+    ));
     json.push_str(&format!("  \"chunk\": {CHUNK},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use volap::{ClientSession, Cluster, VolapConfig};
-use volap_bench::BenchEnv;
+use volap_bench::{BenchEnv, GateNoise};
 use volap_data::DataGen;
 use volap_dims::{Item, QueryBox, Schema};
 use volap_obs::lock;
@@ -135,6 +135,7 @@ fn main() {
     lock::set_telemetry_enabled(true);
     cluster.shutdown();
 
+    let noise = GateNoise::from_rounds(&ingest[0], &ingest[1]);
     let ing = [trimmed_mean(ingest[0].clone()), trimmed_mean(ingest[1].clone())];
     let qry = [trimmed_mean(query[0].clone()), trimmed_mean(query[1].clone())];
     let ingest_overhead = (ing[1] - ing[0]) / ing[1];
@@ -148,17 +149,22 @@ fn main() {
         tolerance * 100.0,
         if ok { "OK" } else { "FAIL" }
     );
+    noise.report(ingest_overhead);
     let json = format!(
         "{{\n  \"bench\": \"lock_overhead\",\n  {},\n  \
+         {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"ingest_per_s\": {{\"telemetry_on\": {:.0}, \"telemetry_off\": {:.0}}},\n  \
          \"query_per_s\": {{\"telemetry_on\": {:.0}, \"telemetry_off\": {:.0}}},\n  \
          \"ingest_overhead_frac\": {ingest_overhead:.4},\n  \
          \"query_overhead_frac\": {query_overhead:.4},\n  \
+         {},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
         env.json_fields(),
-        ing[0], ing[1], qry[0], qry[1]
+        env.headline("ingest_overhead_frac", (ingest_overhead * 1e4).round() / 1e4, false),
+        ing[0], ing[1], qry[0], qry[1],
+        noise.json_fragment()
     );
     std::fs::write("BENCH_lock.json", &json).expect("write BENCH_lock.json");
     println!("wrote BENCH_lock.json");

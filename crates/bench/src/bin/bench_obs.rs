@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use volap::{ClientSession, Cluster, VolapConfig};
-use volap_bench::BenchEnv;
+use volap_bench::{BenchEnv, GateNoise};
 use volap_data::DataGen;
 use volap_dims::{Item, Schema};
 
@@ -87,6 +87,7 @@ fn main() {
     overheads.sort_by(f64::total_cmp);
     let kept = &overheads[TRIM..PAIRS - TRIM];
     let overhead = kept.iter().sum::<f64>() / kept.len() as f64;
+    let noise = GateNoise::from_rounds(&on_rates, &off_rates);
     let ok = overhead <= tolerance;
     println!(
         "instrumented {instrumented:.0}/s vs histograms-off {disabled:.0}/s (medians) \
@@ -95,15 +96,20 @@ fn main() {
         tolerance * 100.0,
         if ok { "OK" } else { "FAIL" }
     );
+    noise.report(overhead);
     let json = format!(
         "{{\n  \"bench\": \"obs_overhead\",\n  {},\n  \
+         {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"pairs\": {PAIRS},\n  \
          \"instrumented_per_s_median\": {instrumented:.0},\n  \
          \"histograms_off_per_s_median\": {disabled:.0},\n  \
-         \"overhead_frac_trimmed_mean\": {overhead:.4},\n  \"tolerance_frac\": {tolerance},\n  \
+         \"overhead_frac_trimmed_mean\": {overhead:.4},\n  \
+         {},\n  \"tolerance_frac\": {tolerance},\n  \
          \"within_tolerance\": {ok}\n}}\n",
-        env.json_fields()
+        env.json_fields(),
+        env.headline("overhead_frac_trimmed_mean", (overhead * 1e4).round() / 1e4, false),
+        noise.json_fragment()
     );
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json");

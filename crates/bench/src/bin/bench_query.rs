@@ -64,9 +64,14 @@ fn main() {
         println!("{n:<10} {seq_ms:>14.4} {par_ms:>14.4} {:>8.2}x", seq_ms / par_ms);
         rows.push(Row { items: n, seq_ms, par_ms });
     }
+    let best = rows.last().expect("at least one size measured");
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"query_seq_vs_par\",\n");
     json.push_str(&format!("  {},\n", env.json_fields()));
+    json.push_str(&format!(
+        "  {},\n",
+        env.headline("par_speedup", ((best.seq_ms / best.par_ms) * 1e3).round() / 1e3, true)
+    ));
     json.push_str(&format!("  \"queries_per_round\": {n_queries},\n"));
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {

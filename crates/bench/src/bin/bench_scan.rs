@@ -163,7 +163,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"scan_packed_and_rollup\",\n  \"cores\": {cores},\n  \
-         \"threads\": {threads},\n  \"rows\": {ROWS},\n  \"results\": {{\n    \
+         \"threads\": {threads},\n  {},\n  \"rows\": {ROWS},\n  \"results\": {{\n    \
          \"raw_mrows_per_s\": {raw_mrows:.1},\n    \
          \"packed_mrows_per_s\": {packed_mrows:.1},\n    \
          \"packed_speedup\": {packed_speedup:.3},\n    \
@@ -172,6 +172,7 @@ fn main() {
          \"rollup_us_per_query\": {rollup_us:.1},\n    \
          \"leafscan_us_per_query\": {leaf_us:.1},\n    \
          \"rollup_speedup\": {rollup_speedup:.1}\n  }}\n}}\n",
+        env.headline("packed_mrows_per_s", (packed_mrows * 10.0).round() / 10.0, true),
         stats.bits_per_value(),
         stats.ratio()
     );

@@ -24,7 +24,7 @@
 use std::time::{Duration, Instant};
 
 use volap::{ClientSession, Cluster, VolapConfig};
-use volap_bench::BenchEnv;
+use volap_bench::{BenchEnv, GateNoise};
 use volap_data::DataGen;
 use volap_dims::{Item, QueryBox, Schema};
 use volap_obs::export;
@@ -145,6 +145,7 @@ fn main() {
         trimmed_mean(query[1].clone()),
         trimmed_mean(query[2].clone()),
     ];
+    let noise = GateNoise::from_rounds(&ingest[1], &ingest[0]);
     let ingest_overhead = (ing[0] - ing[1]) / ing[0];
     let query_overhead = (qry[0] - qry[1]) / qry[0];
     let always_on_overhead = (ing[0] - ing[2]) / ing[0];
@@ -163,8 +164,10 @@ fn main() {
         tolerance * 100.0,
         if ok { "OK" } else { "FAIL" }
     );
+    noise.report(ingest_overhead);
     let json = format!(
         "{{\n  \"bench\": \"trace_overhead\",\n  {},\n  \
+         {},\n  \
          \"items_per_segment\": {ITEMS_PER_SEGMENT},\n  \
          \"queries_per_segment\": {QUERIES_PER_SEGMENT},\n  \"rounds\": {ROUNDS},\n  \
          \"ingest_per_s\": {{\"off\": {:.0}, \"one_in_64\": {:.0}, \"always_on\": {:.0}}},\n  \
@@ -172,9 +175,12 @@ fn main() {
          \"ingest_overhead_frac_one_in_64\": {ingest_overhead:.4},\n  \
          \"query_overhead_frac_one_in_64\": {query_overhead:.4},\n  \
          \"ingest_overhead_frac_always_on\": {always_on_overhead:.4},\n  \
+         {},\n  \
          \"tolerance_frac\": {tolerance},\n  \"within_tolerance\": {ok}\n}}\n",
         env.json_fields(),
-        ing[0], ing[1], ing[2], qry[0], qry[1], qry[2]
+        env.headline("ingest_overhead_frac_one_in_64", (ingest_overhead * 1e4).round() / 1e4, false),
+        ing[0], ing[1], ing[2], qry[0], qry[1], qry[2],
+        noise.json_fragment()
     );
     std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
     println!("wrote BENCH_trace.json");

@@ -40,6 +40,15 @@
 //! or if the per-frame insert deltas do not sum exactly to the live
 //! counter total.
 //!
+//! `--tenants` runs a *tagged* mixed workload (three principals of very
+//! different weights plus untagged traffic), prints the per-principal
+//! exact cost totals and the per-dimension heavy-hitter top-K tables, and
+//! exits non-zero if any principal's accounted request total disagrees
+//! with the workload the binary itself issued, if the tagged + untagged
+//! op counts do not reconcile with the registry counters, if the
+//! rows-scanned sketch misranks the heaviest scanner, or if either
+//! exporter fails to round-trip the populated accounting section.
+//!
 //! `--top [--once]` drives a continuous background workload and renders a
 //! self-refreshing live cluster view from the newest history frame:
 //! ingest/query rates, interval p99s, staleness, heat spread, lock wait,
@@ -123,6 +132,188 @@ fn render_top(cluster: &Cluster) -> String {
     out
 }
 
+/// The `--tenants` mode: tagged workload, per-principal accounting tables,
+/// and an exact-total cross-check against the registry.
+fn run_tenants() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 2;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false; // stable shard set -> exact counters
+    cfg.sync_period = Duration::from_millis(20);
+    let cluster = Cluster::start(cfg);
+
+    // Ground truth: the workload this binary issues, per principal.
+    // Weights differ by ~2x steps so the heavy-hitter ranking is
+    // unambiguous.
+    const TENANTS: [(&str, usize, u64); 3] = [
+        ("tenant-alpha", 600, 24),
+        ("tenant-beta", 300, 12),
+        ("tenant-gamma", 100, 6),
+    ];
+    const UNTAGGED_INSERTS: usize = 200;
+    let total_items: usize =
+        TENANTS.iter().map(|t| t.1).sum::<usize>() + UNTAGGED_INSERTS;
+    let mut gen = DataGen::new(&schema, 41, 1.3);
+    let plain = cluster.client_on(0);
+    for (i, (name, inserts, _)) in TENANTS.iter().enumerate() {
+        let session = cluster.client_on(i % 2).with_principal(name);
+        for item in gen.items(*inserts) {
+            session.insert(&item).unwrap_or_else(|e| fail(&e));
+        }
+    }
+    for item in gen.items(UNTAGGED_INSERTS) {
+        plain.insert(&item).unwrap_or_else(|e| fail(&e));
+    }
+    // Wait for image sync on both servers with counted untagged probes, so
+    // the registry cross-check below stays exact.
+    let all = QueryBox::all(&schema);
+    let mut probes = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        probes += 2;
+        let synced = (0..2).all(|s| {
+            cluster.client_on(s).query(&all).unwrap_or_else(|e| fail(&e)).0.count
+                == total_items as u64
+        });
+        if synced {
+            break;
+        }
+        if Instant::now() > deadline {
+            fail("servers never converged on the tagged dataset");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // A partial box cannot be answered from covered directory aggregates,
+    // so every tenant query scans leaf items and rows_scanned accumulates.
+    let q = QueryBox::from_ranges(vec![(3, 40), (0, 63), (0, 63)]);
+    for (i, (name, _, queries)) in TENANTS.iter().enumerate() {
+        let session = cluster.client_on(i % 2).with_principal(name);
+        for _ in 0..*queries {
+            session.query(&q).unwrap_or_else(|e| fail(&e));
+        }
+    }
+
+    let snap = cluster.snapshot();
+    cluster.shutdown();
+    let acc = &snap.accounting;
+
+    // Exact-total cross-check: every principal's accounted request count
+    // must equal the workload issued, tagged-or-not op totals must
+    // reconcile with the registry, and nobody extra may appear.
+    if !acc.enabled {
+        fail("accounting disabled but --tenants needs it");
+    }
+    if acc.principals.len() != TENANTS.len() {
+        fail(&format!(
+            "expected {} principals, accounting tracked {}",
+            TENANTS.len(),
+            acc.principals.len()
+        ));
+    }
+    let mut tagged_queries = 0u64;
+    for (name, inserts, queries) in TENANTS {
+        let t = acc
+            .principal(name)
+            .unwrap_or_else(|| fail(&format!("{name} missing from accounting")));
+        let issued = inserts as u64 + queries;
+        if t.requests != issued {
+            fail(&format!(
+                "{name}: accounting charged {} requests but the workload issued {issued}"
+            , t.requests));
+        }
+        if t.cost.rows_scanned == 0 || t.cost.bytes == 0 || t.cost.wall_us == 0 {
+            fail(&format!("{name}: cost vector has empty dimensions: {:?}", t.cost));
+        }
+        tagged_queries += queries;
+    }
+    let reg_inserts = snap.counter("volap_server_inserts_total");
+    if reg_inserts != total_items as u64 {
+        fail(&format!(
+            "registry counted {reg_inserts} inserts, workload issued {total_items}"
+        ));
+    }
+    let reg_queries = snap.counter("volap_server_queries_total");
+    if reg_queries != tagged_queries + probes {
+        fail(&format!(
+            "registry counted {reg_queries} queries, workload issued {} tagged + {probes} probes",
+            tagged_queries
+        ));
+    }
+    // The sketch must agree with the exact totals on who scans the most
+    // rows (3 principals against k>=3 slots: no eviction, and uniform
+    // decay preserves ranking).
+    let rows = acc
+        .top_of("rows_scanned")
+        .unwrap_or_else(|| fail("rows_scanned dimension missing from sketches"));
+    match rows.entries.first() {
+        Some(top) if top.principal == TENANTS[0].0 => {}
+        Some(top) => fail(&format!(
+            "rows_scanned sketch ranks {} first, exact totals say {}",
+            top.principal, TENANTS[0].0
+        )),
+        None => fail("rows_scanned sketch is empty after a tagged workload"),
+    }
+    // Both exporters must carry the populated accounting section.
+    match export::from_json(&export::to_json(&snap)) {
+        Ok(back) if back.accounting == snap.accounting => {}
+        Ok(_) => fail("JSON export did not round-trip the accounting section"),
+        Err(e) => fail(&format!("JSON export malformed: {e}")),
+    }
+    match export::from_prometheus(&export::to_prometheus(&snap)) {
+        Ok(back) if back == snap.metrics_only() => {}
+        Ok(_) => fail("prometheus exposition did not round-trip the accounting fold"),
+        Err(e) => fail(&format!("prometheus exposition malformed: {e}")),
+    }
+
+    println!(
+        "# volap-stat: per-principal accounting ({} principals, top-{} sketches, decay {})",
+        acc.principals.len(),
+        acc.topk,
+        acc.decay
+    );
+    println!(
+        "# {:<14} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>7}",
+        "principal", "requests", "rows", "nodes", "bytes", "wall_ms", "hops", "fanout"
+    );
+    let mut by_requests = acc.principals.clone();
+    by_requests.sort_by_key(|t| std::cmp::Reverse(t.requests));
+    for t in &by_requests {
+        println!(
+            "# {:<14} {:>9} {:>9} {:>8} {:>9} {:>9.1} {:>8} {:>7}",
+            t.principal,
+            t.requests,
+            t.cost.rows_scanned,
+            t.cost.nodes_visited,
+            t.cost.bytes,
+            t.cost.wall_us as f64 / 1e3,
+            t.cost.net_hops,
+            t.cost.fanout,
+        );
+    }
+    println!("#");
+    println!("# heavy hitters per cost dimension (count is decayed, err is the bound):");
+    for dim in &acc.top {
+        if dim.entries.is_empty() {
+            continue;
+        }
+        println!("#   {}:", dim.dim);
+        for (rank, e) in dim.entries.iter().enumerate() {
+            println!(
+                "#     {:>2}. {:<14} count {:>12.1}  err {:>8.1}",
+                rank + 1,
+                e.principal,
+                e.count,
+                e.err
+            );
+        }
+    }
+    eprintln!(
+        "volap-stat: OK (exact totals reconcile with the registry, exporters round-trip)"
+    );
+}
+
 /// The `--top` mode: continuous background workload + live view.
 fn run_top(once: bool) {
     let schema = Schema::uniform(3, 2, 8);
@@ -203,6 +394,10 @@ fn main() {
     if mode == "--top" {
         let once = args.iter().any(|a| a == "--once");
         run_top(once);
+        return;
+    }
+    if mode == "--tenants" {
+        run_tenants();
         return;
     }
     let schema = Schema::uniform(3, 2, 8);

@@ -100,6 +100,11 @@ impl Cluster {
                 capacity: cfg.history_capacity,
             },
             health_rules: cfg.health_rules.clone(),
+            accounting: volap_obs::AccountConfig {
+                enabled: cfg.accounting_enabled,
+                topk: cfg.accounting_topk,
+                ..volap_obs::AccountConfig::default()
+            },
         });
         let sampler = (cfg.history_capacity > 0 && !cfg.history_interval.is_zero())
             .then(|| SamplerHandle::spawn(obs.clone(), cfg.history_interval));
@@ -202,6 +207,8 @@ impl Cluster {
             server,
             schema: self.cfg.schema.clone(),
             timeout: self.cfg.request_timeout,
+            accounting: self.obs().accounting().clone(),
+            principal: volap_obs::PrincipalId::NONE,
         }
     }
 
@@ -214,6 +221,8 @@ impl Cluster {
             server: format!("server-{}", server_idx % self.servers.len()),
             schema: self.cfg.schema.clone(),
             timeout: self.cfg.request_timeout,
+            accounting: self.obs().accounting().clone(),
+            principal: volap_obs::PrincipalId::NONE,
         }
     }
 
@@ -263,6 +272,14 @@ impl Cluster {
     /// machines plus the values and anomaly z-scores that drove them.
     pub fn health(&self) -> Vec<volap_obs::ComponentHealth> {
         self.obs().health()
+    }
+
+    /// Per-principal workload accounting: exact per-tenant cost totals plus
+    /// the decayed top-K heavy-hitter sketch per cost dimension. Tag a
+    /// session with [`ClientSession::with_principal`] to start attributing;
+    /// snapshot via [`volap_obs::Accounting::snapshot`] or `Snapshot::accounting`.
+    pub fn accounting(&self) -> &volap_obs::Accounting {
+        self.obs().accounting()
     }
 
     /// The slow-query flight recorder: the most recent sampled traces whose
@@ -363,6 +380,8 @@ pub struct ClientSession {
     server: String,
     schema: Schema,
     timeout: Duration,
+    accounting: volap_obs::Accounting,
+    principal: volap_obs::PrincipalId,
 }
 
 impl ClientSession {
@@ -371,13 +390,28 @@ impl ClientSession {
         &self.server
     }
 
+    /// Tag every request from this session with an accounting principal
+    /// (tenant/user/job name): its measured cost is charged to that name in
+    /// [`Cluster::accounting`]. The empty string untags. Interning is
+    /// per-deployment, so two sessions using the same name share totals.
+    pub fn with_principal(mut self, name: &str) -> Self {
+        self.principal = self.accounting.intern(name);
+        self
+    }
+
+    /// The interned principal this session stamps on requests
+    /// (`PrincipalId::NONE` when untagged).
+    pub fn principal(&self) -> volap_obs::PrincipalId {
+        self.principal
+    }
+
     /// Bulk-ingest a batch: routed in one pass on the server and shipped
     /// to workers as per-shard bulk loads. Far faster than per-item
     /// round trips (paper §IV-C).
     pub fn bulk_insert(&self, items: Vec<Item>) -> Result<(), String> {
         let bytes = self
             .endpoint
-            .request(&self.server, Request::ClientBulkInsert { items }.encode(), self.timeout)
+            .request(&self.server, Request::ClientBulkInsert { items, principal: self.principal.0 }.encode(), self.timeout)
             .map_err(|e| e.to_string())?;
         match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
             Response::Ack => Ok(()),
@@ -390,7 +424,7 @@ impl ClientSession {
     pub fn insert(&self, item: &Item) -> Result<(), String> {
         let bytes = self
             .endpoint
-            .request(&self.server, Request::ClientInsert { item: item.clone() }.encode(), self.timeout)
+            .request(&self.server, Request::ClientInsert { item: item.clone(), principal: self.principal.0 }.encode(), self.timeout)
             .map_err(|e| e.to_string())?;
         match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
             Response::Ack => Ok(()),
@@ -404,7 +438,7 @@ impl ClientSession {
     pub fn query(&self, q: &QueryBox) -> Result<(Aggregate, u32), String> {
         let bytes = self
             .endpoint
-            .request(&self.server, Request::ClientQuery { query: q.clone() }.encode(), self.timeout)
+            .request(&self.server, Request::ClientQuery { query: q.clone(), principal: self.principal.0 }.encode(), self.timeout)
             .map_err(|e| e.to_string())?;
         match Response::decode(&self.schema, &bytes).map_err(|e| e.to_string())? {
             Response::Agg { agg, shards_searched } => Ok((agg, shards_searched)),
@@ -425,7 +459,7 @@ impl ClientSession {
             .endpoint
             .request(
                 &self.server,
-                Request::ClientQueryAnalyze { query: q.clone() }.encode(),
+                Request::ClientQueryAnalyze { query: q.clone(), principal: self.principal.0 }.encode(),
                 self.timeout,
             )
             .map_err(|e| e.to_string())?;

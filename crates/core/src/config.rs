@@ -133,6 +133,19 @@ pub struct VolapConfig {
     /// table); empty disables health tracking while keeping the history
     /// ring.
     pub health_rules: Vec<volap_obs::HealthRule>,
+    /// Whether per-principal workload accounting is armed. On, requests
+    /// tagged with a principal (`ClientSession::with_principal`) charge
+    /// their measured cost — rows scanned, queue wait, wall time, bytes,
+    /// hops, fan-out — to exact per-tenant totals plus decayed top-K
+    /// heavy-hitter sketches (`Cluster::accounting()`, `volap-stat
+    /// --tenants`). Untagged traffic pays one branch either way. Runtime-
+    /// togglable via `Accounting::set_enabled`.
+    pub accounting_enabled: bool,
+    /// Slots per heavy-hitter sketch (one space-saving sketch per cost
+    /// dimension). Any principal holding more than `total/topk` of a
+    /// dimension's decayed weight is guaranteed a slot; memory is
+    /// `O(topk × dimensions)` regardless of tenant count.
+    pub accounting_topk: usize,
 }
 
 impl VolapConfig {
@@ -173,6 +186,8 @@ impl VolapConfig {
             history_interval: Duration::from_millis(250),
             history_capacity: 240,
             health_rules: volap_obs::HealthRule::defaults(),
+            accounting_enabled: true,
+            accounting_topk: 8,
         }
     }
 

@@ -59,6 +59,8 @@ pub enum Request {
     ClientInsert {
         /// The item.
         item: Item,
+        /// Interned accounting principal (0 = untagged).
+        principal: u32,
     },
     /// Server: client-facing bulk ingestion — the batch is routed in one
     /// pass and shipped to workers as per-shard bulk inserts (the system
@@ -66,11 +68,15 @@ pub enum Request {
     ClientBulkInsert {
         /// The items.
         items: Vec<Item>,
+        /// Interned accounting principal (0 = untagged).
+        principal: u32,
     },
     /// Server: client-facing aggregate query.
     ClientQuery {
         /// The query box.
         query: QueryBox,
+        /// Interned accounting principal (0 = untagged).
+        principal: u32,
     },
     /// Server: client-facing ANALYZE'd query — same aggregate, plus the
     /// assembled [`QueryPlan`]. A separate variant (not a flag on
@@ -79,6 +85,8 @@ pub enum Request {
     ClientQueryAnalyze {
         /// The query box.
         query: QueryBox,
+        /// Interned accounting principal (0 = untagged).
+        principal: u32,
     },
     /// Worker: like [`Request::Query`] but returning per-shard execution
     /// stats ([`WorkerExec`]) alongside the aggregate.
@@ -169,14 +177,22 @@ fn item_wire_len(dims: usize) -> usize {
     2 + dims * 8 + 8
 }
 
+/// Decode the trailing principal tag every client op carries.
+fn get_principal(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.len() < 4 {
+        return Err("truncated principal tag".into());
+    }
+    Ok(buf.get_u32())
+}
+
 impl Request {
     /// Encode to bytes.
     pub fn encode(&self) -> Vec<u8> {
         // Bulk payloads dominate the ingest path; size them exactly up
         // front so encoding a large batch never reallocates mid-stream.
         let cap = match self {
-            Request::BulkInsert { items, .. } | Request::ClientBulkInsert { items } => {
-                13 + items.len() * items.first().map_or(0, |it| item_wire_len(it.coords.len()))
+            Request::BulkInsert { items, .. } | Request::ClientBulkInsert { items, .. } => {
+                17 + items.len() * items.first().map_or(0, |it| item_wire_len(it.coords.len()))
             }
             Request::Adopt { blob, .. } => 13 + blob.len(),
             _ => 32,
@@ -220,24 +236,28 @@ impl Request {
                 buf.put_u64(*shard);
                 wire::put_bytes(&mut buf, blob);
             }
-            Request::ClientInsert { item } => {
+            Request::ClientInsert { item, principal } => {
                 buf.put_u8(T_CINSERT);
                 wire::put_item(&mut buf, item);
+                buf.put_u32(*principal);
             }
-            Request::ClientBulkInsert { items } => {
+            Request::ClientBulkInsert { items, principal } => {
                 buf.put_u8(T_CBULK);
                 buf.put_u32(items.len() as u32);
                 for it in items {
                     wire::put_item(&mut buf, it);
                 }
+                buf.put_u32(*principal);
             }
-            Request::ClientQuery { query } => {
+            Request::ClientQuery { query, principal } => {
                 buf.put_u8(T_CQUERY);
                 wire::put_query(&mut buf, query);
+                buf.put_u32(*principal);
             }
-            Request::ClientQueryAnalyze { query } => {
+            Request::ClientQueryAnalyze { query, principal } => {
                 buf.put_u8(T_CANALYZE);
                 wire::put_query(&mut buf, query);
+                buf.put_u32(*principal);
             }
             Request::QueryAnalyze { shards, query } => {
                 buf.put_u8(T_QANALYZE);
@@ -309,17 +329,26 @@ impl Request {
                 }
                 Request::Adopt { shard: buf.get_u64(), blob: wire::get_bytes(buf)? }
             }
-            T_CINSERT => Request::ClientInsert { item: wire::get_item(buf)? },
+            T_CINSERT => {
+                let item = wire::get_item(buf)?;
+                Request::ClientInsert { item, principal: get_principal(buf)? }
+            }
             T_CBULK => {
                 if buf.len() < 4 {
                     return Err("truncated client bulk insert".into());
                 }
                 let n = buf.get_u32() as usize;
                 let items = (0..n).map(|_| wire::get_item(buf)).collect::<Result<_, _>>()?;
-                Request::ClientBulkInsert { items }
+                Request::ClientBulkInsert { items, principal: get_principal(buf)? }
             }
-            T_CQUERY => Request::ClientQuery { query: wire::get_query(buf)? },
-            T_CANALYZE => Request::ClientQueryAnalyze { query: wire::get_query(buf)? },
+            T_CQUERY => {
+                let query = wire::get_query(buf)?;
+                Request::ClientQuery { query, principal: get_principal(buf)? }
+            }
+            T_CANALYZE => {
+                let query = wire::get_query(buf)?;
+                Request::ClientQueryAnalyze { query, principal: get_principal(buf)? }
+            }
             T_QANALYZE => {
                 if buf.len() < 4 {
                     return Err("truncated analyze query".into());
@@ -458,12 +487,19 @@ mod tests {
             Request::SplitShard { shard: 8, left_id: 20, right_id: 21 },
             Request::Migrate { shard: 8, dest: "worker-5".into() },
             Request::Adopt { shard: 9, blob: vec![1, 2, 3, 4] },
-            Request::ClientInsert { item: Item::new(vec![7, 7], 9.0) },
+            Request::ClientInsert { item: Item::new(vec![7, 7], 9.0), principal: 0 },
             Request::ClientBulkInsert {
                 items: vec![Item::new(vec![1, 1], 2.0), Item::new(vec![2, 2], 3.0)],
+                principal: 3,
             },
-            Request::ClientQuery { query: QueryBox::from_ranges(vec![(0, 63), (0, 63)]) },
-            Request::ClientQueryAnalyze { query: QueryBox::from_ranges(vec![(1, 9), (0, 63)]) },
+            Request::ClientQuery {
+                query: QueryBox::from_ranges(vec![(0, 63), (0, 63)]),
+                principal: u32::MAX,
+            },
+            Request::ClientQueryAnalyze {
+                query: QueryBox::from_ranges(vec![(1, 9), (0, 63)]),
+                principal: 1,
+            },
             Request::QueryAnalyze {
                 shards: vec![5, 6],
                 query: QueryBox::from_ranges(vec![(0, 5), (1, 63)]),
@@ -533,5 +569,9 @@ mod tests {
         assert!(Response::decode(&schema(), &[7]).is_err());
         let good = Request::Insert { shard: 1, item: Item::new(vec![1, 2], 0.0) }.encode();
         assert!(Request::decode(&good[..good.len() - 1]).is_err());
+        // Dropping the trailing principal tag must not decode as untagged.
+        let tagged =
+            Request::ClientInsert { item: Item::new(vec![1, 2], 0.0), principal: 7 }.encode();
+        assert!(Request::decode(&tagged[..tagged.len() - 1]).is_err());
     }
 }

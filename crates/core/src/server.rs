@@ -17,7 +17,7 @@ use volap_coord::EventKind;
 use volap_dims::{Aggregate, Item, Key, Mbr, QueryBox, Schema};
 use volap_net::{Endpoint, Incoming, Network};
 use volap_obs::lock::{self, LockClass, ObsMutex, ObsRwLock};
-use volap_obs::{Counter, Histogram, StalenessProbe, TraceCtx, Tracer};
+use volap_obs::{Accounting, CostVec, Counter, Histogram, PrincipalId, StalenessProbe, TraceCtx, Tracer};
 
 /// Server slice of the global lock hierarchy (DESIGN.md §15). The ingest
 /// buffer is drained *before* routing, so it ranks above nothing; the
@@ -83,8 +83,9 @@ struct ServerState {
     dirty: ObsMutex<HashMap<u64, Mbr>>,
     /// Buffered `ClientInsert`s awaiting a coalesced flush (only used when
     /// `cfg.ingest_batch > 1`): each entry keeps its reply handle so the
-    /// client is acknowledged by its shard's bulk outcome.
-    ingest: ObsMutex<Vec<(Item, Incoming)>>,
+    /// client is acknowledged by its shard's bulk outcome, plus its open
+    /// accounting bill when the insert was tagged.
+    ingest: ObsMutex<Vec<(Item, Incoming, Option<Bill>)>>,
     /// This server's local image generation: image records applied (at
     /// bootstrap or via watch events). ANALYZE plans and `route_miss`
     /// events stamp it so routing decisions can be ordered against image
@@ -94,6 +95,9 @@ struct ServerState {
     /// Causal tracer: client requests are the trace roots (head-based
     /// sampling happens here; workers inherit the decision).
     tracer: Tracer,
+    /// Per-principal workload accounting: tagged requests charge their
+    /// measured cost here as they complete.
+    accounting: Accounting,
 }
 
 /// Handle to a running server.
@@ -131,6 +135,7 @@ pub fn spawn_server(net: &Network, image: &ImageStore, cfg: &VolapConfig, name: 
         generation: AtomicU64::new(0),
         obs: ServerObs::new(image, name),
         tracer: image.obs().tracer().clone(),
+        accounting: image.obs().accounting().clone(),
     });
     // Watch before the initial load so no update can slip between them.
     let watch_rx = image.coord().watch_prefix(SHARDS_PREFIX);
@@ -266,15 +271,84 @@ fn reply(msg: &Incoming, resp: Response) {
     let _ = msg.reply(resp.encode());
 }
 
+/// A buffered ingest reply waiting on its flush: the inbound message plus
+/// the bill opened at enqueue time (None for untagged items).
+type PendingReply = (Incoming, Option<Bill>);
+
+/// Everything needed to charge one tagged client request when it
+/// completes. Opened before routing (stamping the measured queue wait and
+/// request bytes), carried through the route so it can accumulate scan and
+/// fan-out counters, settled after the reply is encoded. Untagged requests
+/// (or a disabled accounting core) never construct one — their dispatch
+/// path costs one branch.
+struct Bill {
+    principal: PrincipalId,
+    started: Instant,
+    cost: CostVec,
+}
+
+impl Bill {
+    fn open(st: &ServerState, p: PrincipalId, msg: &Incoming) -> Option<Bill> {
+        if !p.is_tagged() || !st.accounting.enabled() {
+            return None;
+        }
+        Some(Bill {
+            principal: p,
+            started: Instant::now(),
+            cost: CostVec {
+                queue_wait_us: msg.queued.as_micros().min(u128::from(u64::MAX)) as u64,
+                bytes: msg.payload.len() as u64,
+                ..CostVec::default()
+            },
+        })
+    }
+
+    /// Encode the response, fold in reply bytes and end-to-end wall time,
+    /// charge the principal, and send the reply.
+    fn settle(mut self, st: &ServerState, msg: &Incoming, resp: Response) {
+        let bytes = resp.encode();
+        self.cost.bytes = self.cost.bytes.saturating_add(bytes.len() as u64);
+        self.cost.wall_us = self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        st.accounting.charge(self.principal, &self.cost);
+        let _ = msg.reply(bytes);
+    }
+}
+
+/// Dispatch one client op: open a [`Bill`] when the request is tagged, run
+/// the op under a (possibly sampled) trace root, then settle the bill and
+/// reply. The untagged path takes the `None` bill branch — no clock reads,
+/// no encoding detour, routing byte-identical to an accounting-free build.
+fn dispatch(
+    st: &Arc<ServerState>,
+    msg: Incoming,
+    p: PrincipalId,
+    op: &str,
+    f: impl FnOnce(Option<&TraceCtx>, Option<&mut CostVec>) -> Response,
+) {
+    match Bill::open(st, p, &msg) {
+        Some(mut bill) => {
+            let resp = traced_root(st, "server_route", op, p, |t| f(t, Some(&mut bill.cost)));
+            bill.settle(st, &msg, resp);
+        }
+        None => {
+            let resp = traced_root(st, "server_route", op, p, |t| f(t, None));
+            reply(&msg, resp);
+        }
+    }
+}
+
 /// Run one client operation under a (possibly sampled) trace root. When the
 /// head-based sampler picks this request, the whole operation becomes the
-/// `name` root span (annotated with the op and server), the context flows
-/// into `f`, and on completion the tracer decides whether the assembled
-/// trace enters the slow-query flight recorder.
+/// `name` root span (annotated with the op, server, and — for tagged
+/// requests — the accounting principal, so flight-recorder entries say who
+/// a slow request belonged to), the context flows into `f`, and on
+/// completion the tracer decides whether the assembled trace enters the
+/// slow-query flight recorder.
 fn traced_root<R>(
     st: &Arc<ServerState>,
     name: &'static str,
     op: &str,
+    principal: PrincipalId,
     f: impl FnOnce(Option<&TraceCtx>) -> R,
 ) -> R {
     match st.tracer.sample_root() {
@@ -282,6 +356,13 @@ fn traced_root<R>(
             let mut span = st.tracer.span(&ctx, name);
             span.annotate("op", op);
             span.annotate("server", st.name.clone());
+            if principal.is_tagged() {
+                let who = st
+                    .accounting
+                    .name(principal)
+                    .unwrap_or_else(|| principal.0.to_string());
+                span.annotate("principal", who);
+            }
             let wait0 = lock::thread_wait_ns();
             let out = f(Some(&ctx));
             let waited = lock::thread_wait_ns() - wait0;
@@ -306,28 +387,27 @@ fn handle(st: &Arc<ServerState>, msg: Incoming) {
     };
     match req {
         Request::Ping => reply(&msg, Response::Ack),
-        Request::ClientInsert { item } => {
+        Request::ClientInsert { item, principal } => {
+            let p = PrincipalId(principal);
             if st.cfg.ingest_batch > 1 {
-                enqueue_ingest(st, item, msg);
+                enqueue_ingest(st, item, msg, p);
             } else {
-                let resp = traced_root(st, "server_route", "insert", |t| route_insert(st, &item, t));
-                reply(&msg, resp);
+                dispatch(st, msg, p, "insert", |t, c| route_insert(st, &item, t, p, c));
             }
         }
-        Request::ClientBulkInsert { items } => {
-            let resp =
-                traced_root(st, "server_route", "bulk_insert", |t| route_bulk_insert(st, items, t));
-            reply(&msg, resp);
+        Request::ClientBulkInsert { items, principal } => {
+            let p = PrincipalId(principal);
+            dispatch(st, msg, p, "bulk_insert", |t, c| route_bulk_insert(st, items, t, p, c));
         }
-        Request::ClientQuery { query } => {
-            let resp = traced_root(st, "server_route", "query", |t| route_query(st, &query, t));
-            reply(&msg, resp);
+        Request::ClientQuery { query, principal } => {
+            let p = PrincipalId(principal);
+            dispatch(st, msg, p, "query", |t, c| route_query(st, &query, t, p, c));
         }
-        Request::ClientQueryAnalyze { query } => {
-            let resp = traced_root(st, "server_route", "query_analyze", |t| {
-                route_query_analyzed(st, &query, t)
+        Request::ClientQueryAnalyze { query, principal } => {
+            let p = PrincipalId(principal);
+            dispatch(st, msg, p, "query_analyze", |t, c| {
+                route_query_analyzed(st, &query, t, p, c)
             });
-            reply(&msg, resp);
         }
         other => reply(&msg, Response::Err(format!("unsupported server request: {other:?}"))),
     }
@@ -355,7 +435,13 @@ fn shard_location(st: &Arc<ServerState>, shard: u64) -> Option<String> {
     Some(w)
 }
 
-fn route_insert(st: &Arc<ServerState>, item: &Item, trace: Option<&TraceCtx>) -> Response {
+fn route_insert(
+    st: &Arc<ServerState>,
+    item: &Item,
+    trace: Option<&TraceCtx>,
+    principal: PrincipalId,
+    mut cost: Option<&mut CostVec>,
+) -> Response {
     let _timer = st.obs.insert_seconds.start();
     st.obs.inserts.inc();
     // Routing and location lookup are two steps under different locks, so a
@@ -380,11 +466,16 @@ fn route_insert(st: &Arc<ServerState>, item: &Item, trace: Option<&TraceCtx>) ->
         let Some(dest) = shard_location(st, shard) else {
             continue; // shard retired between routing and lookup: re-route
         };
-        return match st.endpoint.request_traced(
+        if let Some(c) = cost.as_deref_mut() {
+            c.net_hops += 1;
+            c.fanout = c.fanout.max(1);
+        }
+        return match st.endpoint.request_tagged(
             &dest,
             Request::Insert { shard, item: item.clone() }.encode(),
             st.cfg.request_timeout,
             trace,
+            principal.0,
         ) {
             Ok(bytes) => Response::decode(&st.schema, &bytes)
                 .unwrap_or_else(|e| Response::Err(format!("bad worker response: {e}"))),
@@ -396,15 +487,25 @@ fn route_insert(st: &Arc<ServerState>, item: &Item, trace: Option<&TraceCtx>) ->
 
 /// Buffer one client insert for coalesced routing. A full buffer is flushed
 /// inline by whichever service thread fills it; partially filled buffers
-/// are bounded in latency by the flusher thread.
-fn enqueue_ingest(st: &Arc<ServerState>, item: Item, msg: Incoming) {
+/// are bounded in latency by the flusher thread. Tagged inserts open their
+/// bill here, so the charged wall time covers the buffering delay too.
+fn enqueue_ingest(st: &Arc<ServerState>, item: Item, msg: Incoming, p: PrincipalId) {
+    let bill = Bill::open(st, p, &msg);
     let full = {
         let mut buf = st.ingest.lock();
-        buf.push((item, msg));
+        buf.push((item, msg, bill));
         (buf.len() >= st.cfg.ingest_batch).then(|| std::mem::take(&mut *buf))
     };
     if let Some(batch) = full {
         flush_ingest(st, batch);
+    }
+}
+
+/// Reply to one buffered client, settling its bill when it carries one.
+fn answer(st: &ServerState, msg: &Incoming, bill: Option<Bill>, resp: Response) {
+    match bill {
+        Some(b) => b.settle(st, msg, resp),
+        None => reply(msg, resp),
     }
 }
 
@@ -416,15 +517,21 @@ fn enqueue_ingest(st: &Arc<ServerState>, item: Item, msg: Incoming) {
 /// Tracing note: coalesced ingest samples per *flush*, not per client
 /// insert — a sampled flush becomes one `server_ingest_flush` root covering
 /// the whole batch (the documented simplification for the coalesced path).
-fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>) {
+fn flush_ingest(st: &Arc<ServerState>, batch: Vec<(Item, Incoming, Option<Bill>)>) {
     if batch.is_empty() {
         return;
     }
     let op = format!("ingest_flush batch={}", batch.len());
-    traced_root(st, "server_ingest_flush", &op, |t| flush_ingest_inner(st, batch, t));
+    traced_root(st, "server_ingest_flush", &op, PrincipalId::NONE, |t| {
+        flush_ingest_inner(st, batch, t)
+    });
 }
 
-fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace: Option<&TraceCtx>) {
+fn flush_ingest_inner(
+    st: &Arc<ServerState>,
+    batch: Vec<(Item, Incoming, Option<Bill>)>,
+    trace: Option<&TraceCtx>,
+) {
     let _timer = st.obs.ingest_flush_seconds.start();
     st.obs.inserts.add(batch.len() as u64);
     // Items whose routed shard lost its location mid-flush (retired by a
@@ -432,13 +539,13 @@ fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace
     // `route_insert` for the race.
     let mut remaining = batch;
     for _ in 0..4 {
-        let mut by_shard: HashMap<u64, (Vec<Item>, Vec<Incoming>)> = HashMap::new();
+        let mut by_shard: HashMap<u64, (Vec<Item>, Vec<PendingReply>)> = HashMap::new();
         {
             let mut index = st.index.write();
             let mut dirty = st.dirty.lock();
-            for (item, msg) in remaining.drain(..) {
+            for (item, msg, bill) in remaining.drain(..) {
                 let Some((shard, expanded)) = index.route_insert(&item) else {
-                    reply(&msg, Response::Err("no shards available".into()));
+                    answer(st, &msg, bill, Response::Err("no shards available".into()));
                     continue;
                 };
                 if expanded {
@@ -449,14 +556,16 @@ fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace
                 }
                 let slot = by_shard.entry(shard).or_default();
                 slot.0.push(item);
-                slot.1.push(msg);
+                slot.1.push((msg, bill));
             }
         }
         let mut requests: Vec<(String, Vec<u8>)> = Vec::with_capacity(by_shard.len());
-        let mut waiters: Vec<Vec<Incoming>> = Vec::with_capacity(by_shard.len());
+        let mut waiters: Vec<Vec<(Incoming, Option<Bill>)>> = Vec::with_capacity(by_shard.len());
         for (shard, (items, msgs)) in by_shard {
             let Some(dest) = shard_location(st, shard) else {
-                remaining.extend(items.into_iter().zip(msgs));
+                remaining.extend(
+                    items.into_iter().zip(msgs).map(|(item, (msg, bill))| (item, msg, bill)),
+                );
                 continue;
             };
             requests.push((dest, Request::BulkInsert { shard, items }.encode()));
@@ -473,22 +582,39 @@ fn flush_ingest_inner(st: &Arc<ServerState>, batch: Vec<(Item, Incoming)>, trace
                 },
                 Err(e) => Response::Err(format!("bulk to {dest} failed: {e}")),
             };
-            for m in msgs {
-                reply(&m, resp.clone());
+            for (m, bill) in msgs {
+                // Each buffered item rode exactly one coalesced worker hop.
+                let bill = bill.map(|mut b| {
+                    b.cost.net_hops += 1;
+                    b.cost.fanout = b.cost.fanout.max(1);
+                    b
+                });
+                answer(st, &m, bill, resp.clone());
             }
         }
         if remaining.is_empty() {
             return;
         }
     }
-    for (_, msg) in remaining {
-        reply(&msg, Response::Err("no location for routed shard after re-route retries".into()));
+    for (_, msg, bill) in remaining {
+        answer(
+            st,
+            &msg,
+            bill,
+            Response::Err("no location for routed shard after re-route retries".into()),
+        );
     }
 }
 
 /// Route a whole batch: one routing pass over the local image, then one
 /// per-(worker, shard) bulk request fan-out.
-fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>, trace: Option<&TraceCtx>) -> Response {
+fn route_bulk_insert(
+    st: &Arc<ServerState>,
+    items: Vec<Item>,
+    trace: Option<&TraceCtx>,
+    principal: PrincipalId,
+    mut cost: Option<&mut CostVec>,
+) -> Response {
     if items.is_empty() {
         return Response::Ack;
     }
@@ -525,9 +651,13 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>, trace: Option<&Tra
             };
             requests.push((dest, Request::BulkInsert { shard, items }.encode()));
         }
+        if let Some(c) = cost.as_deref_mut() {
+            c.net_hops += requests.len() as u64;
+            c.fanout = c.fanout.max(requests.len() as u64);
+        }
         for (reply, (dest, _)) in st
             .endpoint
-            .request_many_traced(&requests, st.cfg.request_timeout, trace)
+            .request_many_tagged(&requests, st.cfg.request_timeout, trace, principal.0)
             .into_iter()
             .zip(&requests)
         {
@@ -548,7 +678,25 @@ fn route_bulk_insert(st: &Arc<ServerState>, items: Vec<Item>, trace: Option<&Tra
     Response::Err("no location for routed shard after re-route retries".into())
 }
 
-fn route_query(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>) -> Response {
+fn route_query(
+    st: &Arc<ServerState>,
+    query: &QueryBox,
+    trace: Option<&TraceCtx>,
+    principal: PrincipalId,
+    cost: Option<&mut CostVec>,
+) -> Response {
+    if let Some(cost) = cost {
+        // Tagged: ride the ANALYZE scatter so the per-shard traversal
+        // counters (rows scanned, nodes visited, rollup hits) are charged
+        // to the principal, then strip the plan — the client still gets
+        // the plain aggregate response it asked for.
+        return match route_query_analyzed(st, query, trace, principal, Some(cost)) {
+            Response::AggPlan { agg, shards_searched, .. } => {
+                Response::Agg { agg, shards_searched }
+            }
+            other => other,
+        };
+    }
     let _timer = st.obs.query_seconds.start();
     st.obs.queries.inc();
     let shard_ids = st.index.read().route_query(query);
@@ -599,7 +747,13 @@ fn route_query(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>
 /// leaves matched, the image generation and measured staleness *at decision
 /// time* — and workers are asked for per-shard execution stats, assembled
 /// here into one [`QueryPlan`] returned alongside the aggregate.
-fn route_query_analyzed(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&TraceCtx>) -> Response {
+fn route_query_analyzed(
+    st: &Arc<ServerState>,
+    query: &QueryBox,
+    trace: Option<&TraceCtx>,
+    principal: PrincipalId,
+    cost: Option<&mut CostVec>,
+) -> Response {
     let wall = Instant::now();
     let _timer = st.obs.query_seconds.start();
     st.obs.queries.inc();
@@ -641,7 +795,7 @@ fn route_query_analyzed(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&
             (dest, Request::QueryAnalyze { shards: ids, query: query.clone() }.encode())
         })
         .collect();
-    let replies = st.endpoint.request_many_traced(&requests, st.cfg.request_timeout, trace);
+    let replies = st.endpoint.request_many_tagged(&requests, st.cfg.request_timeout, trace, principal.0);
     let mut agg = Aggregate::empty();
     let mut searched = 0u32;
     for (reply, (dest, _)) in replies.into_iter().zip(&requests) {
@@ -662,5 +816,13 @@ fn route_query_analyzed(st: &Arc<ServerState>, query: &QueryBox, trace: Option<&
     }
     plan.workers.sort_by(|a, b| a.worker.cmp(&b.worker));
     plan.wall_us = wall.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    if let Some(cost) = cost {
+        let totals = plan.totals();
+        cost.rows_scanned += totals.items_scanned;
+        cost.nodes_visited += totals.nodes_visited;
+        cost.rollup_hits += totals.rollup_hits;
+        cost.net_hops += requests.len() as u64;
+        cost.fanout = cost.fanout.max(requests.len() as u64);
+    }
     Response::AggPlan { agg, shards_searched: searched, plan }
 }

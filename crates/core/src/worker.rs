@@ -329,13 +329,13 @@ fn rx_trace(
     let ctx = msg.trace?;
     let now = st.tracer.now_us();
     let queued_us = msg.queued.as_micros().min(u128::from(u64::MAX)) as u64;
-    st.tracer.record_manual(
-        &ctx,
-        "worker_queue",
-        now.saturating_sub(queued_us),
-        now,
-        vec![("worker".into(), st.name.clone())],
-    );
+    let mut notes = vec![("worker".into(), st.name.clone())];
+    if msg.principal != 0 {
+        // Queue wait is a charged cost dimension; stamping who the envelope
+        // belonged to lets a slow trace show whose work clogged the queue.
+        notes.push(("principal".into(), msg.principal.to_string()));
+    }
+    st.tracer.record_manual(&ctx, "worker_queue", now.saturating_sub(queued_us), now, notes);
     let child = st.tracer.child(&ctx);
     let mut span = st.tracer.span(&child, op);
     span.annotate("worker", st.name.clone());

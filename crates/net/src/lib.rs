@@ -99,6 +99,9 @@ struct Envelope {
     is_reply: bool,
     /// Propagated trace context (sampled requests only).
     trace: Option<TraceCtx>,
+    /// Propagated accounting principal (0 = untagged), riding alongside
+    /// the trace context so cost attribution survives every hop.
+    principal: u32,
     /// Stamped at delivery into the destination queue, so receive-side
     /// queue-wait measurements exclude injected wire latency.
     queued_at: Option<Instant>,
@@ -292,6 +295,8 @@ pub struct Incoming {
     pub correlation: u64,
     /// Propagated trace context, when the sender's request was sampled.
     pub trace: Option<TraceCtx>,
+    /// Propagated accounting principal (0 = untagged).
+    pub principal: u32,
     /// Time this envelope spent in the receive queue before `recv` picked
     /// it up (excludes injected wire latency) — the `worker_queue` stage.
     pub queued: Duration,
@@ -307,6 +312,7 @@ impl Incoming {
             from: env.from,
             correlation: env.correlation,
             trace: env.trace,
+            principal: env.principal,
             queued: env.queued_at.map(|t| t.elapsed()).unwrap_or_default(),
             payload: env.payload,
             net,
@@ -323,6 +329,7 @@ impl Incoming {
                 correlation: self.correlation,
                 is_reply: true,
                 trace: None,
+                principal: 0,
                 queued_at: None,
                 payload,
             },
@@ -369,6 +376,7 @@ impl Endpoint {
                 correlation: 0,
                 is_reply: false,
                 trace,
+                principal: 0,
                 queued_at: None,
                 payload,
             },
@@ -377,7 +385,7 @@ impl Endpoint {
 
     /// Send a request and block for the correlated reply.
     pub fn request(&self, to: &str, payload: Vec<u8>, timeout: Duration) -> Result<Vec<u8>, NetError> {
-        self.request_traced(to, payload, timeout, None)
+        self.request_tagged(to, payload, timeout, None, 0)
     }
 
     /// [`Endpoint::request`] under a trace: when `parent` is set and a
@@ -390,11 +398,30 @@ impl Endpoint {
         timeout: Duration,
         parent: Option<&TraceCtx>,
     ) -> Result<Vec<u8>, NetError> {
+        self.request_tagged(to, payload, timeout, parent, 0)
+    }
+
+    /// [`Endpoint::request_traced`] carrying an accounting principal: the
+    /// tag rides the envelope next to the trace context (and lands on the
+    /// hop span, so slow traces show who the hop was for).
+    pub fn request_tagged(
+        &self,
+        to: &str,
+        payload: Vec<u8>,
+        timeout: Duration,
+        parent: Option<&TraceCtx>,
+        principal: u32,
+    ) -> Result<Vec<u8>, NetError> {
         let _timer = self.net.obs().map(|o| {
             o.requests.inc();
             o.request_seconds.start()
         });
         let (hop_ctx, mut hop_span) = self.hop_span(parent, to);
+        if principal != 0 {
+            if let Some(span) = hop_span.as_mut() {
+                span.annotate("principal", principal.to_string());
+            }
+        }
         let corr = self.core.next_corr.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
         self.core.pending.lock().insert(corr, tx);
@@ -405,6 +432,7 @@ impl Endpoint {
                 correlation: corr,
                 is_reply: false,
                 trace: hop_ctx,
+                principal,
                 queued_at: None,
                 payload,
             },
@@ -471,6 +499,19 @@ impl Endpoint {
         timeout: Duration,
         parent: Option<&TraceCtx>,
     ) -> Vec<Result<Vec<u8>, NetError>> {
+        self.request_many_tagged(requests, timeout, parent, 0)
+    }
+
+    /// [`Endpoint::request_many_traced`] carrying an accounting principal on
+    /// every fan-out leg (and annotating each leg's hop span), so scatter
+    /// cost lands on the tenant that caused it.
+    pub fn request_many_tagged(
+        &self,
+        requests: &[(String, Vec<u8>)],
+        timeout: Duration,
+        parent: Option<&TraceCtx>,
+        principal: u32,
+    ) -> Vec<Result<Vec<u8>, NetError>> {
         if requests.is_empty() {
             return Vec::new();
         }
@@ -498,7 +539,12 @@ impl Endpoint {
         }
         for (i, (to, payload)) in requests.iter().enumerate() {
             let corr = base + i as u64;
-            let (hop_ctx, hop_span) = self.hop_span(parent, to);
+            let (hop_ctx, mut hop_span) = self.hop_span(parent, to);
+            if principal != 0 {
+                if let Some(span) = hop_span.as_mut() {
+                    span.annotate("principal", principal.to_string());
+                }
+            }
             hop_spans[i] = hop_span;
             let sent = self.net.route(
                 to,
@@ -507,6 +553,7 @@ impl Endpoint {
                     correlation: corr,
                     is_reply: false,
                     trace: hop_ctx,
+                    principal,
                     queued_at: None,
                     payload: payload.clone(),
                 },
@@ -661,6 +708,29 @@ mod tests {
             .request("server", vec![], Duration::from_millis(50))
             .unwrap_err();
         assert_eq!(err, NetError::Timeout);
+    }
+
+    #[test]
+    fn principal_tag_propagates_to_the_receiver() {
+        let net = Network::new();
+        let client = net.endpoint("client");
+        let server = net.endpoint("server");
+        let handle = thread::spawn(move || {
+            let tagged = server.recv(Duration::from_secs(2)).unwrap();
+            let principal = tagged.principal;
+            tagged.reply(vec![]).unwrap();
+            let untagged = server.recv(Duration::from_secs(2)).unwrap();
+            let none = untagged.principal;
+            untagged.reply(vec![]).unwrap();
+            (principal, none)
+        });
+        client
+            .request_tagged("server", vec![1], Duration::from_secs(2), None, 7)
+            .unwrap();
+        client.request("server", vec![2], Duration::from_secs(2)).unwrap();
+        let (principal, none) = handle.join().unwrap();
+        assert_eq!(principal, 7, "tag must ride the envelope to the handler");
+        assert_eq!(none, 0, "untagged requests arrive with principal 0");
     }
 
     #[test]

@@ -1,0 +1,17 @@
+//! Captures the compiler version at build time for the `volap_build_info`
+//! gauge (`volap_obs::build_info_gauge`). No dependencies: just `$RUSTC
+//! --version`.
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    let version = std::process::Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "rustc unknown".to_string());
+    println!("cargo:rustc-env=VOLAP_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

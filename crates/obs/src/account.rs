@@ -1,0 +1,620 @@
+//! Per-principal workload accounting: request cost attribution plus a
+//! decayed heavy-hitter profiler.
+//!
+//! Every other surface in this crate answers *what* the cluster spent
+//! (latency histograms, counters, heat). This module answers *who* spent
+//! it. A client-supplied principal tag (an interned [`PrincipalId`]) rides
+//! each client proto op and the `volap_net` envelope alongside the trace
+//! context; when a tagged request completes, the server folds a
+//! [`CostVec`] — rows scanned, tree nodes visited, rollup hits, queue
+//! wait, wall time, bytes encoded, net hops, fan-out — into:
+//!
+//! * **exact per-principal totals** (and a request count) in a registry
+//!   keyed by the interned id, and
+//! * **one space-saving top-K sketch per cost dimension**, so the
+//!   hot-principal view survives unbounded principal cardinality in
+//!   bounded memory. Each sketch holds at most `topk` entries; the classic
+//!   space-saving guarantee applies: for every tracked principal the
+//!   sketched count overestimates the true count by at most `err`, and
+//!   `err ≤ N/k` where `N` is the total weight offered and `k = topk`.
+//!   The sketches additionally decay by an EWMA factor every sampler
+//!   tick, so "top spenders" is a sliding window, not an all-time ranking
+//!   (the exact totals stay all-time).
+//!
+//! Untagged requests pay one relaxed load and a branch — the same
+//! kill-switch idiom as [`crate::heat::HeatMap`] — enforced upstream by
+//! the `bench_account` overhead gate.
+//!
+//! The derived `gauge(accounting_dominance_frac)` history series (the
+//! decayed scan-cost share of the single hottest principal) feeds the
+//! default `tenant_dominance` health rule: one principal holding more
+//! than the threshold share of scan cost for the rule's hysteresis window
+//! flags the `tenants` component Degraded.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of cost dimensions in a [`CostVec`].
+pub const COST_DIMS: usize = 8;
+
+/// Stable dimension names, in [`CostVec::as_array`] order. These are the
+/// `dim` strings in [`AccountingSnapshot::top`] and the metric-name
+/// suffixes of the folded Prometheus counters
+/// (`volap_accounting_<dim>_total{principal=..}`).
+pub const COST_DIM_NAMES: [&str; COST_DIMS] = [
+    "rows_scanned",
+    "nodes_visited",
+    "rollup_hits",
+    "queue_wait_us",
+    "wall_us",
+    "bytes",
+    "net_hops",
+    "fanout",
+];
+
+/// Index of the `rows_scanned` dimension (the one the dominance fraction
+/// and the default health rule watch).
+pub const DIM_ROWS_SCANNED: usize = 0;
+
+/// An interned principal tag. `0` is reserved for "untagged" — the hot
+/// path branches on it before touching any accounting state. Ids are
+/// dense (1, 2, 3, ...) in interning order and never recycled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrincipalId(pub u32);
+
+impl PrincipalId {
+    /// The untagged principal: requests carrying it are never accounted.
+    pub const NONE: PrincipalId = PrincipalId(0);
+
+    /// Whether this id names a real (interned) principal.
+    pub fn is_tagged(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// The per-request cost attribution vector. All dimensions are additive
+/// `u64`s so per-principal totals are exact (no float drift between the
+/// registry and the cross-checks `volap-stat --tenants` runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostVec {
+    /// Leaf items scanned across all shards touched (from `ShardExec`).
+    pub rows_scanned: u64,
+    /// Tree nodes visited across all shards touched.
+    pub nodes_visited: u64,
+    /// Materialized rollup hits (covered aggregates answered without a
+    /// leaf scan).
+    pub rollup_hits: u64,
+    /// Microseconds the request sat in the server's inbound queue before
+    /// a handler picked it up.
+    pub queue_wait_us: u64,
+    /// Route + execute wall time on the server, microseconds.
+    pub wall_us: u64,
+    /// Request payload bytes decoded at the server (what the client's
+    /// encoding cost on the wire).
+    pub bytes: u64,
+    /// Network hops the request caused (worker requests, re-route
+    /// attempts, forwards).
+    pub net_hops: u64,
+    /// Scatter width: distinct workers contacted (1 for point routes).
+    pub fanout: u64,
+}
+
+impl CostVec {
+    /// The vector as an array indexed like [`COST_DIM_NAMES`].
+    pub fn as_array(&self) -> [u64; COST_DIMS] {
+        [
+            self.rows_scanned,
+            self.nodes_visited,
+            self.rollup_hits,
+            self.queue_wait_us,
+            self.wall_us,
+            self.bytes,
+            self.net_hops,
+            self.fanout,
+        ]
+    }
+
+    /// Rebuild from an array indexed like [`COST_DIM_NAMES`].
+    pub fn from_array(a: [u64; COST_DIMS]) -> Self {
+        Self {
+            rows_scanned: a[0],
+            nodes_visited: a[1],
+            rollup_hits: a[2],
+            queue_wait_us: a[3],
+            wall_us: a[4],
+            bytes: a[5],
+            net_hops: a[6],
+            fanout: a[7],
+        }
+    }
+
+    /// Element-wise saturating accumulate.
+    pub fn add(&mut self, other: &CostVec) {
+        self.rows_scanned = self.rows_scanned.saturating_add(other.rows_scanned);
+        self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
+        self.rollup_hits = self.rollup_hits.saturating_add(other.rollup_hits);
+        self.queue_wait_us = self.queue_wait_us.saturating_add(other.queue_wait_us);
+        self.wall_us = self.wall_us.saturating_add(other.wall_us);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.net_hops = self.net_hops.saturating_add(other.net_hops);
+        self.fanout = self.fanout.saturating_add(other.fanout);
+    }
+}
+
+/// One tracked entry of a [`SpaceSaving`] sketch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct SketchSlot {
+    principal: u32,
+    /// Estimated (decayed) weight. Overestimates the true weight by at
+    /// most `err`.
+    count: f64,
+    /// Maximum possible overestimate inherited at eviction time.
+    err: f64,
+}
+
+/// A space-saving heavy-hitter sketch (Metwally et al.) over weighted
+/// offers, with multiplicative decay. At most `capacity` principals are
+/// tracked; offering an untracked principal when full evicts the minimum
+/// entry and inherits its count as the new entry's error bound. For any
+/// decay-free stream of total weight `N`: `true ≤ count` and
+/// `count − true ≤ err ≤ N / capacity` for every tracked principal, and
+/// any principal with true weight `> N / capacity` is tracked.
+#[derive(Clone, Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    slots: Vec<SketchSlot>,
+    /// Total (decayed) weight offered — the `N` in the error bound.
+    offered: f64,
+}
+
+impl SpaceSaving {
+    /// An empty sketch tracking at most `capacity` principals
+    /// (`capacity ≥ 1` enforced).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), slots: Vec::new(), offered: 0.0 }
+    }
+
+    /// Offer `weight` for `principal`. Zero weights are ignored (they
+    /// carry no ranking information and would churn evictions).
+    pub fn offer(&mut self, principal: u32, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        let w = weight as f64;
+        self.offered += w;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.principal == principal) {
+            slot.count += w;
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.push(SketchSlot { principal, count: w, err: 0.0 });
+            return;
+        }
+        // Evict the minimum: the newcomer inherits its count as both the
+        // starting estimate and the error bound.
+        let min = self
+            .slots
+            .iter_mut()
+            .min_by(|a, b| a.count.total_cmp(&b.count))
+            .expect("capacity >= 1");
+        *min = SketchSlot { principal, count: min.count + w, err: min.count };
+    }
+
+    /// Multiply every estimate (and the offered total) by `alpha` — the
+    /// EWMA window step the sampler applies once per tick. Entries that
+    /// decay below one unit of weight are dropped, so an idle principal
+    /// ages out of the top-K instead of squatting in it.
+    pub fn decay(&mut self, alpha: f64) {
+        let alpha = alpha.clamp(0.0, 1.0);
+        self.offered *= alpha;
+        for s in &mut self.slots {
+            s.count *= alpha;
+            s.err *= alpha;
+        }
+        self.slots.retain(|s| s.count >= 1.0);
+    }
+
+    /// Total (decayed) weight offered — the `N` of the error bound.
+    pub fn offered(&self) -> f64 {
+        self.offered
+    }
+
+    /// Tracked entries as `(principal, count, err)`, heaviest first.
+    pub fn entries(&self) -> Vec<(u32, f64, f64)> {
+        let mut v: Vec<_> = self.slots.iter().map(|s| (s.principal, s.count, s.err)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The heaviest entry's estimated count, or 0 when empty.
+    pub fn max_count(&self) -> f64 {
+        self.slots.iter().map(|s| s.count).fold(0.0, f64::max)
+    }
+}
+
+/// Per-principal exact totals (interner-side state).
+#[derive(Default)]
+struct AccountState {
+    /// Principal names; `PrincipalId(i + 1)` owns `names[i]`.
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    /// Exact all-time cost totals, parallel to `names`.
+    totals: Vec<CostVec>,
+    /// Exact all-time request counts, parallel to `names`.
+    requests: Vec<u64>,
+    /// One sketch per cost dimension, indexed like [`COST_DIM_NAMES`].
+    sketches: Vec<SpaceSaving>,
+}
+
+/// Sizing and switch for one [`Accounting`] instance (the
+/// `VolapConfig::accounting_*` knobs upstream).
+#[derive(Clone, Debug)]
+pub struct AccountConfig {
+    /// Whether charging starts enabled (runtime-togglable; off, a charge
+    /// is one relaxed load and a branch).
+    pub enabled: bool,
+    /// Sketch capacity per cost dimension (the K of top-K; error bound
+    /// `N/K`).
+    pub topk: usize,
+    /// Multiplicative EWMA factor the sketches decay by each sampler
+    /// tick (exact totals never decay). `1.0` disables decay.
+    pub decay: f64,
+}
+
+impl Default for AccountConfig {
+    fn default() -> Self {
+        Self { enabled: true, topk: 8, decay: 0.9 }
+    }
+}
+
+struct AccountingInner {
+    enabled: AtomicBool,
+    topk: usize,
+    decay: f64,
+    state: Mutex<AccountState>,
+}
+
+/// The per-principal accounting core. Cheap to clone (shared); writers
+/// are request handlers calling [`Accounting::charge`], readers are the
+/// sampler (dominance) and snapshots.
+#[derive(Clone)]
+pub struct Accounting {
+    inner: Arc<AccountingInner>,
+}
+
+impl Default for Accounting {
+    fn default() -> Self {
+        Self::new(&AccountConfig::default())
+    }
+}
+
+impl Accounting {
+    /// Build an accounting core per `cfg`.
+    pub fn new(cfg: &AccountConfig) -> Self {
+        let topk = cfg.topk.max(1);
+        Self {
+            inner: Arc::new(AccountingInner {
+                enabled: AtomicBool::new(cfg.enabled),
+                topk,
+                decay: cfg.decay.clamp(0.0, 1.0),
+                state: Mutex::new(AccountState {
+                    sketches: (0..COST_DIMS).map(|_| SpaceSaving::new(topk)).collect(),
+                    ..AccountState::default()
+                }),
+            }),
+        }
+    }
+
+    /// Whether charging is currently enabled.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Runtime kill switch: with accounting off, [`Accounting::charge`]
+    /// is one relaxed load and a branch (the `bench_account` gate
+    /// measures exactly this path).
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Sketch capacity per dimension.
+    pub fn topk(&self) -> usize {
+        self.inner.topk
+    }
+
+    /// Intern `name`, returning its stable id (idempotent). Empty names
+    /// are not principals and intern to [`PrincipalId::NONE`].
+    pub fn intern(&self, name: &str) -> PrincipalId {
+        if name.is_empty() {
+            return PrincipalId::NONE;
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        if let Some(&id) = st.index.get(name) {
+            return PrincipalId(id);
+        }
+        st.names.push(name.to_string());
+        st.totals.push(CostVec::default());
+        st.requests.push(0);
+        let id = st.names.len() as u32;
+        st.index.insert(name.to_string(), id);
+        PrincipalId(id)
+    }
+
+    /// The name behind an id (None for untagged or never-interned ids).
+    pub fn name(&self, p: PrincipalId) -> Option<String> {
+        if !p.is_tagged() {
+            return None;
+        }
+        let st = self.inner.state.lock().unwrap();
+        st.names.get(p.0 as usize - 1).cloned()
+    }
+
+    /// Attribute one request's cost to `p`. Untagged requests and a
+    /// disabled core return after a branch; ids that were never interned
+    /// here are ignored (a foreign id cannot grow the tables).
+    pub fn charge(&self, p: PrincipalId, cost: &CostVec) {
+        if !p.is_tagged() || !self.enabled() {
+            return;
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        let slot = p.0 as usize - 1;
+        if slot >= st.names.len() {
+            return;
+        }
+        st.totals[slot].add(cost);
+        st.requests[slot] += 1;
+        let arr = cost.as_array();
+        for (sketch, &w) in st.sketches.iter_mut().zip(arr.iter()) {
+            sketch.offer(p.0, w);
+        }
+    }
+
+    /// One sampler tick: decay every sketch by the configured EWMA
+    /// factor and return the current dominance fraction — the hottest
+    /// principal's share of the decayed rows-scanned weight (0.0 when
+    /// nothing was scanned in the window). The caller records it as the
+    /// `gauge(accounting_dominance_frac)` history series.
+    pub fn decay_tick(&self) -> f64 {
+        let mut st = self.inner.state.lock().unwrap();
+        if self.inner.decay < 1.0 {
+            let decay = self.inner.decay;
+            for sketch in &mut st.sketches {
+                sketch.decay(decay);
+            }
+        }
+        let scans = &st.sketches[DIM_ROWS_SCANNED];
+        if scans.offered() > 0.0 {
+            scans.max_count() / scans.offered()
+        } else {
+            0.0
+        }
+    }
+
+    /// Current dominance fraction without decaying (snapshot readers).
+    pub fn dominance_frac(&self) -> f64 {
+        let st = self.inner.state.lock().unwrap();
+        let scans = &st.sketches[DIM_ROWS_SCANNED];
+        if scans.offered() > 0.0 {
+            scans.max_count() / scans.offered()
+        } else {
+            0.0
+        }
+    }
+
+    /// Copy out the whole accounting state.
+    pub fn snapshot(&self) -> AccountingSnapshot {
+        let st = self.inner.state.lock().unwrap();
+        let mut principals: Vec<PrincipalTotals> = st
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| PrincipalTotals {
+                principal: name.clone(),
+                requests: st.requests[i],
+                cost: st.totals[i],
+            })
+            .collect();
+        principals.sort_by(|a, b| a.principal.cmp(&b.principal));
+        let top = st
+            .sketches
+            .iter()
+            .enumerate()
+            .map(|(d, sketch)| DimTop {
+                dim: COST_DIM_NAMES[d].to_string(),
+                offered: sketch.offered(),
+                entries: sketch
+                    .entries()
+                    .into_iter()
+                    .map(|(id, count, err)| TopEntry {
+                        principal: st
+                            .names
+                            .get(id as usize - 1)
+                            .cloned()
+                            .unwrap_or_else(|| format!("principal-{id}")),
+                        count,
+                        err,
+                    })
+                    .collect(),
+            })
+            .collect();
+        AccountingSnapshot {
+            enabled: self.enabled(),
+            topk: self.inner.topk as u64,
+            decay: self.inner.decay,
+            principals,
+            top,
+        }
+    }
+}
+
+/// A copied-out accounting state: exact per-principal totals plus the
+/// per-dimension top-K tables. Round-trips losslessly through the JSON
+/// exporter; the Prometheus exposition folds the exact totals in as
+/// `volap_accounting_*_total{principal=..}` counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccountingSnapshot {
+    /// Whether charging was enabled at capture.
+    pub enabled: bool,
+    /// Sketch capacity per dimension (the K of the `N/K` error bound).
+    pub topk: u64,
+    /// EWMA factor applied per sampler tick (1.0 = no decay).
+    pub decay: f64,
+    /// Exact all-time totals, sorted by principal name.
+    pub principals: Vec<PrincipalTotals>,
+    /// Per-dimension top-K tables, in [`COST_DIM_NAMES`] order (empty
+    /// when accounting never charged).
+    pub top: Vec<DimTop>,
+}
+
+impl AccountingSnapshot {
+    /// The exact totals row for one principal.
+    pub fn principal(&self, name: &str) -> Option<&PrincipalTotals> {
+        self.principals.iter().find(|p| p.principal == name)
+    }
+
+    /// The top-K table for one dimension name.
+    pub fn top_of(&self, dim: &str) -> Option<&DimTop> {
+        self.top.iter().find(|t| t.dim == dim)
+    }
+}
+
+/// Exact all-time totals for one principal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PrincipalTotals {
+    /// The principal tag as the client supplied it.
+    pub principal: String,
+    /// Tagged requests charged.
+    pub requests: u64,
+    /// Summed cost vector.
+    pub cost: CostVec,
+}
+
+/// The decayed top-K table for one cost dimension.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DimTop {
+    /// Dimension name (one of [`COST_DIM_NAMES`]).
+    pub dim: String,
+    /// Total decayed weight offered (the `N` of the error bound).
+    pub offered: f64,
+    /// Tracked principals, heaviest first.
+    pub entries: Vec<TopEntry>,
+}
+
+/// One row of a [`DimTop`] table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TopEntry {
+    /// Principal tag.
+    pub principal: String,
+    /// Estimated (decayed) weight; overestimates truth by at most `err`.
+    pub count: f64,
+    /// Error bound inherited at eviction (`≤ offered / topk`).
+    pub err: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let acc = Accounting::default();
+        let a = acc.intern("tenant-a");
+        let b = acc.intern("tenant-b");
+        assert_eq!(a, PrincipalId(1));
+        assert_eq!(b, PrincipalId(2));
+        assert_eq!(acc.intern("tenant-a"), a);
+        assert_eq!(acc.name(a).as_deref(), Some("tenant-a"));
+        assert_eq!(acc.name(PrincipalId::NONE), None);
+        assert_eq!(acc.intern(""), PrincipalId::NONE);
+    }
+
+    #[test]
+    fn charge_accumulates_exact_totals() {
+        let acc = Accounting::default();
+        let a = acc.intern("a");
+        let cost = CostVec { rows_scanned: 10, bytes: 3, fanout: 2, ..CostVec::default() };
+        acc.charge(a, &cost);
+        acc.charge(a, &cost);
+        // Untagged and foreign ids are no-ops.
+        acc.charge(PrincipalId::NONE, &cost);
+        acc.charge(PrincipalId(99), &cost);
+        let snap = acc.snapshot();
+        let row = snap.principal("a").unwrap();
+        assert_eq!(row.requests, 2);
+        assert_eq!(row.cost.rows_scanned, 20);
+        assert_eq!(row.cost.bytes, 6);
+        assert_eq!(snap.principals.len(), 1);
+        let top = snap.top_of("rows_scanned").unwrap();
+        assert_eq!(top.entries[0].principal, "a");
+        assert_eq!(top.entries[0].count, 20.0);
+    }
+
+    #[test]
+    fn disabled_charge_is_a_noop() {
+        let acc = Accounting::new(&AccountConfig { enabled: false, ..AccountConfig::default() });
+        let a = acc.intern("a");
+        acc.charge(a, &CostVec { rows_scanned: 5, ..CostVec::default() });
+        assert!(acc.snapshot().principals[0].requests == 0);
+        acc.set_enabled(true);
+        acc.charge(a, &CostVec { rows_scanned: 5, ..CostVec::default() });
+        assert_eq!(acc.snapshot().principal("a").unwrap().cost.rows_scanned, 5);
+    }
+
+    #[test]
+    fn sketch_error_bound_holds_under_eviction() {
+        let k = 4;
+        let mut sketch = SpaceSaving::new(k);
+        let mut truth = vec![0u64; 64];
+        let mut n = 0u64;
+        // A skewed deterministic stream over 64 principals.
+        let mut x = 7u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let p = ((x >> 33) % 64) as u32;
+            let w = if p < 4 { 50 } else { 1 };
+            sketch.offer(p + 1, w);
+            truth[p as usize] += w;
+            n += w;
+        }
+        assert_eq!(sketch.offered(), n as f64);
+        let bound = n as f64 / k as f64;
+        for (p, count, err) in sketch.entries() {
+            let t = truth[p as usize - 1] as f64;
+            assert!(count >= t, "sketch must overestimate: {count} < {t}");
+            assert!(count - t <= err + 1e-9, "overestimate exceeds recorded err");
+            assert!(err <= bound + 1e-9, "err {err} exceeds N/k {bound}");
+        }
+    }
+
+    #[test]
+    fn decay_shrinks_and_drops() {
+        let mut sketch = SpaceSaving::new(4);
+        sketch.offer(1, 100);
+        sketch.offer(2, 1);
+        sketch.decay(0.5);
+        let entries = sketch.entries();
+        assert_eq!(entries, vec![(1, 50.0, 0.0)], "principal 2 decayed below 1 and dropped");
+        assert_eq!(sketch.offered(), 50.5);
+        // Exact totals never decay; only the window does.
+        let acc = Accounting::new(&AccountConfig { decay: 0.5, ..AccountConfig::default() });
+        let a = acc.intern("a");
+        acc.charge(a, &CostVec { rows_scanned: 100, ..CostVec::default() });
+        acc.decay_tick();
+        let snap = acc.snapshot();
+        assert_eq!(snap.principal("a").unwrap().cost.rows_scanned, 100);
+        assert_eq!(snap.top_of("rows_scanned").unwrap().entries[0].count, 50.0);
+    }
+
+    #[test]
+    fn dominance_tracks_the_hog() {
+        let acc = Accounting::default();
+        let hog = acc.intern("hog");
+        let meek = acc.intern("meek");
+        acc.charge(hog, &CostVec { rows_scanned: 900, ..CostVec::default() });
+        acc.charge(meek, &CostVec { rows_scanned: 100, ..CostVec::default() });
+        assert!((acc.dominance_frac() - 0.9).abs() < 1e-12);
+        // No scans at all → no dominance.
+        assert_eq!(Accounting::default().dominance_frac(), 0.0);
+    }
+}

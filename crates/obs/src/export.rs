@@ -6,6 +6,7 @@
 //! `Display`, so `parse::<f64>()` recovers them bit-exactly; `u64` counters
 //! are written as integers and never pass through `f64`.
 
+use crate::account::{AccountingSnapshot, CostVec, DimTop, PrincipalTotals, TopEntry};
 use crate::audit::BalanceDecision;
 use crate::events::Event;
 use crate::health::ComponentHealth;
@@ -475,7 +476,54 @@ pub fn to_json(snap: &Snapshot) -> String {
             h.since_us
         ));
     }
-    out.push_str("\n  ]\n}\n");
+    out.push_str(&format!(
+        "\n  ],\n  \"accounting\": {{\"enabled\": {}, \"topk\": {}, \"decay\": {}, \
+         \"principals\": [",
+        u64::from(snap.accounting.enabled),
+        snap.accounting.topk,
+        snap.accounting.decay
+    ));
+    first = true;
+    for p in &snap.accounting.principals {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let cost: Vec<String> = p.cost.as_array().iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "\n    {{\"principal\": \"{}\", \"requests\": {}, \"cost\": [{}]}}",
+            json_escape(&p.principal),
+            p.requests,
+            cost.join(",")
+        ));
+    }
+    out.push_str("\n  ], \"top\": [");
+    first = true;
+    for t in &snap.accounting.top {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let entries: Vec<String> = t
+            .entries
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"principal\": \"{}\", \"count\": {}, \"err\": {}}}",
+                    json_escape(&e.principal),
+                    e.count,
+                    e.err
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "\n    {{\"dim\": \"{}\", \"offered\": {}, \"entries\": [{}]}}",
+            json_escape(&t.dim),
+            t.offered,
+            entries.join(",")
+        ));
+    }
+    out.push_str("\n  ]}\n}\n");
     out
 }
 
@@ -617,6 +665,45 @@ pub fn from_json(text: &str) -> Result<Snapshot, String> {
             anomalous: anomalous != 0,
             transitions: h.get("transitions")?.num()?,
             since_us: h.get("since_us")?.num()?,
+        });
+    }
+    let acc = root.get("accounting")?;
+    let enabled: u64 = acc.get("enabled")?.num()?;
+    snap.accounting = AccountingSnapshot {
+        enabled: enabled != 0,
+        topk: acc.get("topk")?.num()?,
+        decay: acc.get("decay")?.num()?,
+        principals: Vec::new(),
+        top: Vec::new(),
+    };
+    for p in acc.get("principals")?.arr()? {
+        let mut cost = [0u64; crate::account::COST_DIMS];
+        let arr = p.get("cost")?.arr()?;
+        if arr.len() != cost.len() {
+            return Err(format!("accounting cost must have {} dims", cost.len()));
+        }
+        for (slot, v) in cost.iter_mut().zip(arr) {
+            *slot = v.num()?;
+        }
+        snap.accounting.principals.push(PrincipalTotals {
+            principal: p.get("principal")?.str()?.to_string(),
+            requests: p.get("requests")?.num()?,
+            cost: CostVec::from_array(cost),
+        });
+    }
+    for t in acc.get("top")?.arr()? {
+        let mut entries = Vec::new();
+        for e in t.get("entries")?.arr()? {
+            entries.push(TopEntry {
+                principal: e.get("principal")?.str()?.to_string(),
+                count: e.get("count")?.num()?,
+                err: e.get("err")?.num()?,
+            });
+        }
+        snap.accounting.top.push(DimTop {
+            dim: t.get("dim")?.str()?.to_string(),
+            offered: t.get("offered")?.num()?,
+            entries,
         });
     }
     Ok(snap)
@@ -832,6 +919,44 @@ mod tests {
                     since_us: 0,
                 },
             ],
+            accounting: AccountingSnapshot {
+                enabled: true,
+                topk: 4,
+                decay: 0.9,
+                principals: vec![
+                    PrincipalTotals {
+                        principal: "tenant \"a\"\n".into(),
+                        requests: 12,
+                        cost: CostVec {
+                            rows_scanned: u64::MAX,
+                            nodes_visited: 7,
+                            rollup_hits: 3,
+                            queue_wait_us: 1234,
+                            wall_us: 5678,
+                            bytes: 4096,
+                            net_hops: 9,
+                            fanout: 4,
+                        },
+                    },
+                    PrincipalTotals {
+                        principal: "tenant-b".into(),
+                        requests: 1,
+                        cost: CostVec { rows_scanned: 17, ..CostVec::default() },
+                    },
+                ],
+                top: vec![DimTop {
+                    dim: "rows_scanned".into(),
+                    offered: 123.456789,
+                    entries: vec![
+                        TopEntry {
+                            principal: "tenant \"a\"\n".into(),
+                            count: 100.25,
+                            err: 0.5,
+                        },
+                        TopEntry { principal: "tenant-b".into(), count: 17.0, err: 0.0 },
+                    ],
+                }],
+            },
         }
     }
 

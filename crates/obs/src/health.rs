@@ -113,6 +113,12 @@ impl HealthRule {
             rule("contention", "locks", "gauge(lock_contention_frac_max)", 0.6, 0.95, 4),
             rule("heat_imbalance", "balance", "gauge(heat_insert_imbalance)", 8.0, 64.0, 8),
             rule("net_timeouts", "net", "rate(volap_net_timeouts_total)", 1.0, 100.0, 2),
+            // Single-principal dominance: one tenant holding > 90% of the
+            // decayed rows-scanned weight for 3 consecutive frames is
+            // Degraded. The fraction can never exceed 1.0, so the rule
+            // never escalates to Critical — a seeded hog transitions the
+            // `tenants` component exactly once.
+            rule("tenant_dominance", "tenants", "gauge(accounting_dominance_frac)", 0.9, 1.5, 3),
         ]
     }
 }

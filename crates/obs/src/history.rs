@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::account::Accounting;
 use crate::events::EventLog;
 use crate::heat::HeatMap;
 use crate::lock;
@@ -306,9 +307,19 @@ impl History {
 
     /// Capture one frame: walk the registry, heat map, event-ring counters,
     /// and lock classes, and append interval deltas/samples to the ring.
-    /// Returns `false` (and records nothing) when disabled, sized to zero,
-    /// or when no time has passed since the previous frame.
-    pub fn capture(&self, registry: &Registry, heat: &HeatMap, events: &EventLog) -> bool {
+    /// When an accounting core is supplied its sketches take one EWMA
+    /// decay step and the dominance fraction lands in the derived
+    /// `gauge(accounting_dominance_frac)` series (so the window advances
+    /// exactly once per captured frame). Returns `false` (and records
+    /// nothing) when disabled, sized to zero, or when no time has passed
+    /// since the previous frame.
+    pub fn capture(
+        &self,
+        registry: &Registry,
+        heat: &HeatMap,
+        events: &EventLog,
+        accounting: Option<&Accounting>,
+    ) -> bool {
         if self.inner.capacity == 0 || !self.enabled() {
             return false;
         }
@@ -426,6 +437,14 @@ impl History {
         st.set(i, max_frac);
         let i = st.intern(SeriesKind::Gauge, "lock_wait_frac", None);
         st.set(i, wait_delta_s / dt_s);
+
+        // Accounting: advance the heavy-hitter EWMA window one step and
+        // record the hottest principal's share of the decayed scan weight.
+        if let Some(acc) = accounting {
+            let i = st.intern(SeriesKind::Gauge, "accounting_dominance_frac", None);
+            let frac = acc.decay_tick();
+            st.set(i, frac);
+        }
 
         // Commit the frame, recycling the evicted slot's allocation.
         let slot = if st.len < self.inner.capacity {
@@ -641,7 +660,7 @@ mod tests {
         for add in [3u64, 0, 41, 7] {
             c.add(add);
             std::thread::sleep(Duration::from_millis(2));
-            assert!(h.capture(&reg, &heat, &ev));
+            assert!(h.capture(&reg, &heat, &ev, None));
         }
         let snap = h.snapshot();
         assert_eq!(snap.frames.len(), 4);
@@ -658,7 +677,7 @@ mod tests {
         let h = ring(4);
         for _ in 0..10 {
             std::thread::sleep(Duration::from_millis(1));
-            assert!(h.capture(&reg, &heat, &ev));
+            assert!(h.capture(&reg, &heat, &ev, None));
         }
         let snap = h.snapshot();
         assert_eq!(snap.frames.len(), 4);
@@ -676,10 +695,10 @@ mod tests {
         hist.observe_ns(1000);
         hist.observe_ns(1000);
         std::thread::sleep(Duration::from_millis(2));
-        assert!(h.capture(&reg, &heat, &ev));
+        assert!(h.capture(&reg, &heat, &ev, None));
         // Nothing observed this interval: p50/p99 must carry forward.
         std::thread::sleep(Duration::from_millis(2));
-        assert!(h.capture(&reg, &heat, &ev));
+        assert!(h.capture(&reg, &heat, &ev, None));
         let snap = h.snapshot();
         let p99 = series_key(SeriesKind::P99, "volap_lat_seconds", None);
         let first = snap.value(&snap.frames[0], &p99).unwrap();
@@ -697,13 +716,13 @@ mod tests {
         let h = ring(8);
         h.set_enabled(false);
         std::thread::sleep(Duration::from_millis(1));
-        assert!(!h.capture(&reg, &heat, &ev));
+        assert!(!h.capture(&reg, &heat, &ev, None));
         h.set_enabled(true);
         std::thread::sleep(Duration::from_millis(1));
-        assert!(h.capture(&reg, &heat, &ev));
+        assert!(h.capture(&reg, &heat, &ev, None));
         let none = ring(0);
         std::thread::sleep(Duration::from_millis(1));
-        assert!(!none.capture(&reg, &heat, &ev));
+        assert!(!none.capture(&reg, &heat, &ev, None));
         assert_eq!(none.snapshot().frames.len(), 0);
     }
 
@@ -713,7 +732,7 @@ mod tests {
         let h = ring(8);
         for _ in 0..3 {
             std::thread::sleep(Duration::from_millis(1));
-            h.capture(&reg, &heat, &ev);
+            h.capture(&reg, &heat, &ev, None);
         }
         let good = h.snapshot();
         good.validate().unwrap();
@@ -744,7 +763,7 @@ mod tests {
         ev.record("x", "y".into());
         let h = ring(8);
         std::thread::sleep(Duration::from_millis(1));
-        assert!(h.capture(&reg, &heat, &ev));
+        assert!(h.capture(&reg, &heat, &ev, None));
         let snap = h.snapshot();
         let f = snap.latest().unwrap();
         assert_eq!(snap.value(f, "gauge(heat_insert_rate_spread)"), Some(20.0));

@@ -26,6 +26,7 @@
 //! per deployment (shared through its `ImageStore`) and surfaces it as
 //! `Cluster::snapshot()`.
 
+pub mod account;
 pub mod audit;
 pub mod events;
 pub mod export;
@@ -39,6 +40,10 @@ pub mod snapshot;
 pub mod staleness;
 pub mod trace;
 
+pub use account::{
+    AccountConfig, Accounting, AccountingSnapshot, CostVec, DimTop, PrincipalId, PrincipalTotals,
+    SpaceSaving, TopEntry, COST_DIMS, COST_DIM_NAMES,
+};
 pub use audit::{AuditLog, BalanceDecision};
 pub use events::{Event, EventLog};
 pub use health::{ComponentHealth, HealthRule, HealthState, Watchdog};
@@ -81,6 +86,10 @@ pub struct ObsConfig {
     pub history: HistoryConfig,
     /// SLO rules the health watchdog evaluates each sampler interval.
     pub health_rules: Vec<HealthRule>,
+    /// Per-principal workload accounting sizing and switch (the
+    /// `VolapConfig::accounting_*` knobs upstream). Sketch decay advances
+    /// once per [`Obs::sample_tick`].
+    pub accounting: AccountConfig,
 }
 
 impl Default for ObsConfig {
@@ -93,6 +102,7 @@ impl Default for ObsConfig {
             trace: TraceConfig::default(),
             history: HistoryConfig::default(),
             health_rules: HealthRule::defaults(),
+            accounting: AccountConfig::default(),
         }
     }
 }
@@ -109,6 +119,7 @@ pub struct Obs {
     audit: AuditLog,
     history: History,
     watchdog: Watchdog,
+    accounting: Accounting,
     epoch: std::time::Instant,
 }
 
@@ -133,6 +144,7 @@ impl Obs {
             audit: AuditLog::new(cfg.audit_capacity),
             history: History::new(&cfg.history, epoch),
             watchdog: Watchdog::new(cfg.health_rules),
+            accounting: Accounting::new(&cfg.accounting),
             epoch,
         }
     }
@@ -179,6 +191,11 @@ impl Obs {
         self.watchdog.snapshot()
     }
 
+    /// The per-principal workload accounting core.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
     /// The instant this core was built; history frame timestamps and
     /// `Snapshot::uptime_us` are measured from it.
     pub fn epoch(&self) -> std::time::Instant {
@@ -190,7 +207,8 @@ impl Obs {
     /// by the cluster's sampler thread every `history_interval`; safe (and
     /// a no-op) when the history ring is disabled or zero-capacity.
     pub fn sample_tick(&self) {
-        if self.history.capture(&self.registry, &self.heat, &self.events) {
+        if self.history.capture(&self.registry, &self.heat, &self.events, Some(&self.accounting))
+        {
             self.watchdog.evaluate(&self.history, &self.events);
         }
     }
@@ -210,9 +228,11 @@ impl Obs {
     /// process-global, so its per-class metrics appear identically in every
     /// core's snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let (mut counters, gauges, mut histograms) = self.registry.snapshot();
+        let (mut counters, mut gauges, mut histograms) = self.registry.snapshot();
         let locks = lock::export_into(&mut counters, &mut histograms);
+        gauges.push(build_info_gauge());
         counters.sort_by(|a, b| a.id.cmp(&b.id));
+        gauges.sort_by(|a, b| a.id.cmp(&b.id));
         histograms.sort_by(|a, b| a.id.cmp(&b.id));
         let captured_unix_us = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -231,8 +251,25 @@ impl Obs {
             staleness: self.staleness.snapshot(),
             history: self.history.snapshot(),
             health: self.health(),
+            accounting: self.accounting.snapshot(),
         }
     }
+}
+
+/// The `volap_build_info` gauge: crate version, build profile, and rustc
+/// version folded into one label value (the registry carries at most one
+/// label pair per metric), with the conventional constant value 1. Present
+/// in every [`Obs::snapshot`], so both expositions carry it and the
+/// `from_prometheus ∘ to_prometheus` round trip preserves it like any
+/// other labeled gauge.
+pub fn build_info_gauge() -> ScalarSnapshot<i64> {
+    let build = format!(
+        "volap {} {} {}",
+        env!("CARGO_PKG_VERSION"),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        env!("VOLAP_RUSTC_VERSION"),
+    );
+    ScalarSnapshot { id: MetricId::labeled("volap_build_info", "build", &build), value: 1 }
 }
 
 #[cfg(test)]
@@ -259,6 +296,31 @@ mod tests {
         assert_eq!(prom_back, snap.metrics_only());
         // The staleness distribution is in the exposition as a histogram.
         assert_eq!(prom_back.histogram("volap_staleness_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn build_info_gauge_rides_every_snapshot_and_round_trips() {
+        let obs = Obs::new(ObsConfig::default());
+        let snap = obs.snapshot();
+        let info = snap
+            .gauges
+            .iter()
+            .find(|g| g.id.name == "volap_build_info")
+            .expect("build info gauge present in every snapshot");
+        assert_eq!(info.value, 1, "build info uses the conventional constant value");
+        let label = info.id.label.as_ref().expect("build label attached");
+        assert_eq!(label.0, "build");
+        assert!(label.1.starts_with("volap "), "label folds crate version: {}", label.1);
+        assert!(
+            label.1.contains("debug") || label.1.contains("release"),
+            "label folds the build profile: {}",
+            label.1
+        );
+        assert!(label.1.contains("rustc"), "label folds the rustc version: {}", label.1);
+        let prom = export::to_prometheus(&snap);
+        assert!(prom.contains("volap_build_info{build="), "exposition carries build info");
+        let back = export::from_prometheus(&prom).unwrap();
+        assert_eq!(back, snap.metrics_only(), "round trip preserves the gauge");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! knows: metrics, recent events, measured staleness, the metrics
 //! time-series ring, and SLO health.
 
+use crate::account::{AccountingSnapshot, COST_DIM_NAMES};
 use crate::audit::BalanceDecision;
 use crate::events::Event;
 use crate::health::ComponentHealth;
@@ -41,19 +42,25 @@ pub struct Snapshot {
     pub history: HistorySnapshot,
     /// Per-rule SLO health, sorted by component then rule.
     pub health: Vec<ComponentHealth>,
+    /// Per-principal workload accounting: exact totals plus the decayed
+    /// per-dimension top-K tables.
+    pub accounting: AccountingSnapshot,
 }
 
 impl Snapshot {
     /// This snapshot with events, heat, audit, staleness, history frames,
-    /// and structured health stripped — the subset the Prometheus text
-    /// exposition can represent. Capture time, uptime, history ring totals,
-    /// and per-component health states are *folded in* as synthetic metrics
-    /// (`volap_captured_unix_microseconds`, `volap_uptime_microseconds`,
-    /// `volap_history_frames`, `volap_history_dropped_total`, and a
-    /// `volap_health_state` gauge holding the worst rule state per
-    /// component), so the exposition still carries the headline telemetry.
-    /// Folding is idempotent: re-folding an already-folded snapshot (the
-    /// exporter round-trip) changes nothing.
+    /// structured health, and the structured accounting section stripped —
+    /// the subset the Prometheus text exposition can represent. Capture
+    /// time, uptime, history ring totals, per-component health states, and
+    /// the exact per-principal accounting totals are *folded in* as
+    /// synthetic metrics (`volap_captured_unix_microseconds`,
+    /// `volap_uptime_microseconds`, `volap_history_frames`,
+    /// `volap_history_dropped_total`, a `volap_health_state` gauge holding
+    /// the worst rule state per component, and
+    /// `volap_accounting_{requests,<dim>}_total{principal=..}` counters),
+    /// so the exposition still carries the headline telemetry. Folding is
+    /// idempotent: re-folding an already-folded snapshot (the exporter
+    /// round-trip) changes nothing.
     pub fn metrics_only(&self) -> Snapshot {
         let mut counters = self.counters.clone();
         let mut gauges = self.gauges.clone();
@@ -82,6 +89,26 @@ impl Snapshot {
                     None => gauges.push(ScalarSnapshot { id, value: h.state.score() }),
                 }
             }
+            for p in &self.accounting.principals {
+                counters.push(ScalarSnapshot {
+                    id: MetricId::labeled(
+                        "volap_accounting_requests_total",
+                        "principal",
+                        &p.principal,
+                    ),
+                    value: p.requests,
+                });
+                for (dim, value) in COST_DIM_NAMES.iter().zip(p.cost.as_array()) {
+                    counters.push(ScalarSnapshot {
+                        id: MetricId::labeled(
+                            format!("volap_accounting_{dim}_total"),
+                            "principal",
+                            &p.principal,
+                        ),
+                        value,
+                    });
+                }
+            }
             counters.sort_by(|a, b| a.id.cmp(&b.id));
             gauges.sort_by(|a, b| a.id.cmp(&b.id));
         }
@@ -98,6 +125,7 @@ impl Snapshot {
             staleness: StalenessSnapshot::default(),
             history: HistorySnapshot::default(),
             health: Vec::new(),
+            accounting: AccountingSnapshot::default(),
         }
     }
 

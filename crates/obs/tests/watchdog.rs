@@ -38,7 +38,10 @@ impl Rig {
     /// hair so the frame has a non-zero span.
     fn tick(&self) {
         std::thread::sleep(Duration::from_millis(2));
-        assert!(self.history.capture(&self.reg, &self.heat, &self.events), "capture refused");
+        assert!(
+            self.history.capture(&self.reg, &self.heat, &self.events, None),
+            "capture refused"
+        );
         self.watchdog.evaluate(&self.history, &self.events);
     }
 

@@ -1,0 +1,210 @@
+//! Cluster-level per-principal workload accounting: the acceptance workload
+//! for cost attribution and the heavy-hitter profiler. A 2-server / 4-shard
+//! cluster runs a tagged mixed workload (two tenants plus untagged
+//! traffic); the accounting snapshot's exact totals must reconcile with the
+//! registry counters and both exporters, sampled slow traces must carry the
+//! right principal, and a seeded hog tenant must flip the default
+//! `tenant_dominance` health rule exactly once.
+
+use std::time::{Duration, Instant};
+
+use volap::{Cluster, HealthState, VolapConfig};
+use volap_data::DataGen;
+use volap_dims::{QueryBox, Schema};
+use volap_obs::export;
+
+fn eventually(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+/// A partial box over the first dimension: unlike `QueryBox::all`, it cannot
+/// be answered from covered directory aggregates alone, so it forces leaf
+/// item scans — the `rows_scanned` cost dimension stays non-zero.
+fn partial_box() -> QueryBox {
+    QueryBox::from_ranges(vec![(3, 40), (0, 63), (0, 63)])
+}
+
+#[test]
+fn tagged_workload_reconciles_with_registry_and_exporters() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 2;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2; // 4 shards
+    cfg.manager_enabled = false; // stable shard set -> exact counters
+    // Sample every request and call everything slow, so the flight
+    // recorder holds traces for the principal-annotation check.
+    cfg.trace_sample = 1;
+    cfg.trace_slow_threshold = Duration::ZERO;
+    let cluster = Cluster::start(cfg);
+    assert_eq!(cluster.shard_count(), 4);
+
+    const A_INSERTS: u64 = 300;
+    const A_QUERIES: u64 = 8;
+    const B_QUERIES: u64 = 5;
+    const PLAIN_INSERTS: u64 = 100;
+    const TOTAL: u64 = A_INSERTS + PLAIN_INSERTS;
+    let mut gen = DataGen::new(&schema, 17, 1.2);
+    let a = cluster.client_on(0).with_principal("tenant-a");
+    let b = cluster.client_on(1).with_principal("tenant-b");
+    let plain0 = cluster.client_on(0);
+    let plain1 = cluster.client_on(1);
+    assert!(!plain0.principal().is_tagged());
+    for item in gen.items(A_INSERTS as usize) {
+        a.insert(&item).expect("tenant-a insert");
+    }
+    for item in gen.items(PLAIN_INSERTS as usize) {
+        plain0.insert(&item).expect("untagged insert");
+    }
+    // Wait until both servers' local images have synced every box
+    // expansion, so the tagged queries below see identical routing. The
+    // probes are untagged and counted, keeping the registry math exact.
+    let all = QueryBox::all(&schema);
+    let mut probes = 0u64;
+    assert!(
+        eventually(Duration::from_secs(15), || {
+            probes += 2;
+            plain0.query(&all).expect("probe").0.count == TOTAL
+                && plain1.query(&all).expect("probe").0.count == TOTAL
+        }),
+        "servers never converged on the full dataset"
+    );
+    // Reference execution: an untagged ANALYZE of the tenants' query yields
+    // the exact per-query traversal counters tagged queries are charged.
+    let (ref_agg, _, ref_plan) =
+        plain1.query_analyze(&partial_box()).expect("reference analyze");
+    let per_query = ref_plan.totals();
+    assert!(per_query.items_scanned > 0, "partial box must force leaf scans: {per_query:?}");
+
+    for _ in 0..A_QUERIES {
+        a.query(&partial_box()).expect("tenant-a query");
+    }
+    for _ in 0..B_QUERIES {
+        let (agg, _) = b.query(&partial_box()).expect("tenant-b query");
+        assert_eq!(agg.count, ref_agg.count, "tagging must not change results");
+    }
+
+    // Exact totals: per-principal request counts are exact, and tagged +
+    // untagged traffic reconciles with the registry counters.
+    let snap = cluster.snapshot();
+    let acc = &snap.accounting;
+    assert!(acc.enabled);
+    let ta = acc.principal("tenant-a").expect("tenant-a accounted");
+    let tb = acc.principal("tenant-b").expect("tenant-b accounted");
+    assert_eq!(ta.requests, A_INSERTS + A_QUERIES);
+    assert_eq!(tb.requests, B_QUERIES);
+    assert_eq!(acc.principals.len(), 2, "untagged traffic must not mint a principal");
+    assert_eq!(snap.counter("volap_server_inserts_total"), TOTAL);
+    assert_eq!(
+        snap.counter("volap_server_queries_total"),
+        A_QUERIES + B_QUERIES + probes + 1,
+        "registry query counter disagrees with the issued workload"
+    );
+    // Cost dimensions carry real measurements: each tagged query was
+    // charged exactly the reference plan's traversal counters, and fanned
+    // out to both workers.
+    assert_eq!(tb.cost.rows_scanned, B_QUERIES * per_query.items_scanned);
+    assert_eq!(tb.cost.nodes_visited, B_QUERIES * per_query.nodes_visited);
+    assert_eq!(ta.cost.rows_scanned, A_QUERIES * per_query.items_scanned);
+    assert!(ta.cost.bytes > 0 && ta.cost.wall_us > 0);
+    // Totals sum per-request fanout, so tenant-b's per-query scatter width
+    // is its fanout total over its query count.
+    assert_eq!(tb.cost.fanout % B_QUERIES, 0, "uneven scatter width: {:?}", tb.cost);
+    let per_fanout = tb.cost.fanout / B_QUERIES;
+    assert!(per_fanout >= 2, "partial box spans both workers, must fan out: {:?}", tb.cost);
+    assert_eq!(ta.cost.net_hops, A_INSERTS + A_QUERIES * per_fanout);
+    // The heavy-hitter sketch agrees on who scans the most rows (k=8 over
+    // 2 tenants: no eviction, so the ranking is exact even after decay).
+    let rows = acc.top_of("rows_scanned").expect("rows_scanned sketch");
+    let top = rows.entries.first().expect("sketch has entries");
+    assert_eq!(top.principal, "tenant-a", "hog of rows_scanned misidentified");
+
+    // Exporters: lossless JSON round trip with a populated accounting
+    // section, and exact totals visible as Prometheus counters.
+    let back = export::from_json(&export::to_json(&snap)).expect("JSON parse");
+    assert_eq!(back.accounting, snap.accounting);
+    let prom = export::to_prometheus(&snap);
+    let needle = format!(
+        "volap_accounting_requests_total{{principal=\"tenant-a\"}} {}",
+        ta.requests
+    );
+    assert!(prom.contains(&needle), "exposition missing {needle:?}");
+    let rt = export::from_prometheus(&prom).expect("prometheus parse");
+    assert_eq!(rt, snap.metrics_only(), "prometheus round trip lost accounting fold");
+
+    // Slow traces: sampled roots of tagged requests carry the principal
+    // annotation.
+    let slow = cluster.slow_traces();
+    assert!(!slow.is_empty(), "sampler recorded no slow traces");
+    let tagged_root = slow.iter().any(|t| {
+        t.spans.iter().any(|s| {
+            s.name == "server_route"
+                && s.annotations.iter().any(|(k, v)| k == "principal" && v == "tenant-b")
+        })
+    });
+    assert!(tagged_root, "no slow trace root annotated principal=tenant-b");
+    cluster.shutdown();
+}
+
+#[test]
+fn seeded_hog_flips_dominance_rule_exactly_once() {
+    let schema = Schema::uniform(3, 2, 8);
+    let mut cfg = VolapConfig::new(schema.clone());
+    cfg.servers = 2;
+    cfg.workers = 2;
+    cfg.initial_shards_per_worker = 2;
+    cfg.manager_enabled = false;
+    cfg.history_interval = Duration::from_millis(25);
+    // Keep only the dominance rule so the assertion below is about it.
+    cfg.health_rules = volap_obs::HealthRule::defaults()
+        .into_iter()
+        .filter(|r| r.name == "tenant_dominance")
+        .collect();
+    assert_eq!(cfg.health_rules.len(), 1, "default tenant_dominance rule missing");
+    let cluster = Cluster::start(cfg);
+
+    let mut gen = DataGen::new(&schema, 23, 1.2);
+    cluster.client().bulk_insert(gen.items(500)).expect("seed data");
+    let hog = cluster.client().with_principal("tenant-hog");
+    // One tenant does all the scanning: dominance -> 1.0, which breaches
+    // degraded_above=0.9 but can never reach critical_above, so the state
+    // machine transitions exactly once. The partial box defeats covered
+    // directory aggregates, keeping rows_scanned non-zero per query.
+    let degraded = eventually(Duration::from_secs(15), || {
+        hog.query(&partial_box()).expect("hog query");
+        cluster
+            .health()
+            .iter()
+            .any(|h| h.component == "tenants" && h.state == HealthState::Degraded)
+    });
+    assert!(degraded, "hog never degraded tenant health: {:?}", cluster.health());
+
+    // Keep hogging: the state must hold Degraded without re-transitioning.
+    for _ in 0..10 {
+        hog.query(&partial_box()).expect("hog query");
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let h = cluster
+        .health()
+        .into_iter()
+        .find(|h| h.component == "tenants" && h.rule == "tenant_dominance")
+        .expect("tenant_dominance rule tracked");
+    assert_eq!(h.state, HealthState::Degraded, "dominance cannot reach Critical");
+    assert_eq!(h.transitions, 1, "state machine must flip exactly once");
+    assert!(h.value > 0.9, "breaching dominance not recorded: {}", h.value);
+
+    // The derived history series is present.
+    let hist = cluster.history();
+    assert!(
+        hist.series.iter().any(|s| s.key.contains("accounting_dominance_frac")),
+        "dominance series missing from history"
+    );
+    cluster.shutdown();
+}

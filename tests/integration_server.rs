@@ -44,9 +44,9 @@ fn server_routes_and_pushes_expansions() {
 
     let mut gen = DataGen::new(&schema, 9, 1.0);
     for it in gen.items(50) {
-        assert_eq!(ask(&driver, "s0", Request::ClientInsert { item: it }, &schema), Response::Ack);
+        assert_eq!(ask(&driver, "s0", Request::ClientInsert { item: it, principal: 0 }, &schema), Response::Ack);
     }
-    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema) {
+    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema), principal: 0 }, &schema) {
         Response::Agg { agg, shards_searched } => {
             assert_eq!(agg.count, 50);
             assert_eq!(shards_searched, 1);
@@ -79,7 +79,7 @@ fn server_learns_new_shards_through_watches() {
     let server = spawn_server(&net, &image, &cfg, "s0");
     let mut gen = DataGen::new(&schema, 10, 1.0);
     for it in gen.items(20) {
-        ask(&driver, "s0", Request::ClientInsert { item: it }, &schema);
+        ask(&driver, "s0", Request::ClientInsert { item: it, principal: 0 }, &schema);
     }
     // A new shard appears (as if another server/manager created it).
     create_empty_shard(&driver, "w0", &schema, 2, TIMEOUT).unwrap();
@@ -95,7 +95,7 @@ fn server_learns_new_shards_through_watches() {
     // The server must pick it up via its watch and include it in queries.
     assert!(
         eventually(Duration::from_secs(5), || {
-            match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema) {
+            match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema), principal: 0 }, &schema) {
                 Response::Agg { agg, shards_searched } => agg.count == 50 && shards_searched == 2,
                 _ => false,
             }
@@ -129,7 +129,7 @@ fn server_coalesces_concurrent_client_inserts() {
                 let mut gen = DataGen::new(&schema, 100 + t, 1.0);
                 for it in gen.items(25) {
                     let bytes = client
-                        .request("s0", Request::ClientInsert { item: it }.encode(), TIMEOUT)
+                        .request("s0", Request::ClientInsert { item: it, principal: 0 }.encode(), TIMEOUT)
                         .expect("request");
                     assert_eq!(
                         Response::decode(&schema, &bytes).expect("decode"),
@@ -139,7 +139,7 @@ fn server_coalesces_concurrent_client_inserts() {
             });
         }
     });
-    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema) {
+    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema), principal: 0 }, &schema) {
         Response::Agg { agg, .. } => assert_eq!(agg.count, 400),
         other => panic!("unexpected {other:?}"),
     }
@@ -157,11 +157,11 @@ fn server_with_no_shards_errors_cleanly() {
     let driver = net.endpoint("driver");
     let server = spawn_server(&net, &image, &cfg, "s0");
     let mut gen = DataGen::new(&schema, 11, 1.0);
-    match ask(&driver, "s0", Request::ClientInsert { item: gen.item() }, &schema) {
+    match ask(&driver, "s0", Request::ClientInsert { item: gen.item(), principal: 0 }, &schema) {
         Response::Err(e) => assert!(e.contains("no shards")),
         other => panic!("unexpected {other:?}"),
     }
-    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema) {
+    match ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema), principal: 0 }, &schema) {
         Response::Agg { agg, shards_searched } => {
             assert!(agg.is_empty());
             assert_eq!(shards_searched, 0);
@@ -183,10 +183,10 @@ fn server_metrics_count_operations() {
     let server = spawn_server(&net, &image, &cfg, "s0");
     let mut gen = DataGen::new(&schema, 12, 1.0);
     for it in gen.items(25) {
-        ask(&driver, "s0", Request::ClientInsert { item: it }, &schema);
+        ask(&driver, "s0", Request::ClientInsert { item: it, principal: 0 }, &schema);
     }
     for _ in 0..5 {
-        ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema) }, &schema);
+        ask(&driver, "s0", Request::ClientQuery { query: QueryBox::all(&schema), principal: 0 }, &schema);
     }
     let reg = image.obs().registry();
     let ins = reg.sum_counters("volap_server_inserts_total");
